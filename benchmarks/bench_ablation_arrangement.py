@@ -1,0 +1,83 @@
+"""Ablation: arrangement family — what each property buys (§VI-E).
+
+Compares identity, shifted, iterate-3 (P1/P2 but no P3 at n=3) and
+iterate-5 (all three) arrangements:
+
+* reconstruction gain needs P1/P2 — iterate-3 and iterate-5 match the
+  shifted arrangement, identity does not;
+* large-write cost needs P3 — iterate-3 degenerates to n write
+  accesses while the others stay at 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.arrangement import (
+    IdentityArrangement,
+    IteratedArrangement,
+    ShiftedArrangement,
+)
+from repro.core.layouts import MirrorLayout
+from repro.raidsim.controller import RaidController
+from repro.workloads.generator import random_large_writes
+
+N = 3
+ARRANGEMENTS = {
+    "identity": lambda: IdentityArrangement(N),
+    "shifted": lambda: ShiftedArrangement(N),
+    "iterate3": lambda: IteratedArrangement(N, 3),
+    "iterate5": lambda: IteratedArrangement(N, 5),
+}
+
+
+def test_bench_arrangement_reconstruction(benchmark):
+    def sweep():
+        out = {}
+        for name, arr in ARRANGEMENTS.items():
+            ctrl = RaidController(MirrorLayout(N, arr()), n_stripes=16, payload_bytes=8)
+            res = ctrl.rebuild([0])
+            assert res.verified
+            out[name] = res.read_throughput_mbps
+        return out
+
+    res = run_once(benchmark, sweep)
+    assert res["shifted"] > 1.5 * res["identity"]
+    # any P1/P2 arrangement parallelises reconstruction equally well
+    assert abs(res["iterate5"] - res["shifted"]) / res["shifted"] < 0.1
+    assert abs(res["iterate3"] - res["shifted"]) / res["shifted"] < 0.1
+    benchmark.extra_info.update(res)
+
+
+def test_bench_arrangement_write_cost(benchmark):
+    def sweep():
+        out = {}
+        for name, arr in ARRANGEMENTS.items():
+            lay = MirrorLayout(N, arr())
+            out[name] = max(
+                lay.large_write_plan(j).num_write_accesses for j in range(N)
+            )
+        return out
+
+    res = run_once(benchmark, sweep)
+    assert res["identity"] == res["shifted"] == res["iterate5"] == 1
+    assert res["iterate3"] == N  # the P3 violation costs n accesses
+    benchmark.extra_info.update(res)
+
+
+def test_bench_arrangement_write_throughput(benchmark):
+    """The P3 violation shows up as measured write throughput too."""
+
+    def measure(arr_factory):
+        ctrl = RaidController(MirrorLayout(N, arr_factory()), n_stripes=8, payload_bytes=8)
+        rng = np.random.default_rng(3)
+        ops = random_large_writes(N, 8, n_ops=60, rng=rng)
+        return ctrl.run_write_workload(ops, window=1, rng=rng).write_throughput_mbps
+
+    def sweep():
+        return {name: measure(arr) for name, arr in ARRANGEMENTS.items()}
+
+    res = run_once(benchmark, sweep)
+    assert res["iterate3"] < 0.9 * res["shifted"]
+    benchmark.extra_info.update(res)

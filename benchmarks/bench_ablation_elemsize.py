@@ -1,0 +1,54 @@
+"""Ablation: element size vs the reconstruction gain.
+
+DESIGN.md §5: the empirical Fig. 9 gain (1.54-4.55x) sits below the
+theoretical n x because every scattered element read pays a fixed
+mechanical overhead.  Growing the element amortises that overhead, so
+the measured gain should climb toward n; shrinking it collapses the
+gain.  This is the quantitative explanation the paper gives in §VII-A
+("random reads ... eliminates the seek time").
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.layouts import shifted_mirror, traditional_mirror
+from repro.raidsim.controller import RaidController
+
+_MB = 1024 * 1024
+
+
+def _gain(n, element_size):
+    results = {}
+    for name, builder in (("trad", traditional_mirror), ("shift", shifted_mirror)):
+        ctrl = RaidController(
+            builder(n), n_stripes=10, element_size=element_size, payload_bytes=8
+        )
+        results[name] = ctrl.rebuild([0]).read_throughput_mbps
+    return results["shift"] / results["trad"]
+
+
+def test_bench_element_size_sweep(benchmark):
+    n = 5
+    sizes = [256 * 1024, 1 * _MB, 4 * _MB, 16 * _MB, 64 * _MB]
+
+    def sweep():
+        return [(s, _gain(n, s)) for s in sizes]
+
+    rows = run_once(benchmark, sweep)
+    gains = [g for _, g in rows]
+    assert all(b > a for a, b in zip(gains, gains[1:])), gains
+    # tiny elements: overhead dominates, little gain
+    assert gains[0] < 2.5
+    # huge elements: approaching the theoretical factor n
+    assert gains[-1] > 0.85 * n
+    benchmark.extra_info["gain_by_element_size"] = {
+        f"{s // 1024}KiB": g for s, g in rows
+    }
+
+
+def test_bench_paper_element_size_in_band(benchmark):
+    """At the paper's 4 MB element the n=5 gain lands in its band."""
+    gain = run_once(benchmark, _gain, 5, 4 * _MB)
+    assert 2.5 < gain < 4.0
+    benchmark.extra_info["gain_4mb_n5"] = gain

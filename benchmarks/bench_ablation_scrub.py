@@ -1,0 +1,79 @@
+"""Ablation: scrubbing cost vs the LSE-during-rebuild hazard.
+
+Quantifies the operational trade the paper's §I reliability citations
+imply: a scrub pass costs streaming-rate reads over every disk, and in
+exchange removes the latent sector errors that would make a
+single-fault rebuild unrecoverable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.errors import UnrecoverableFailureError
+from repro.core.layouts import shifted_mirror, traditional_mirror
+from repro.disksim.faults import LatentSectorErrors
+from repro.raidsim.controller import RaidController
+from repro.raidsim.scrub import Scrubber
+
+ELEM = 4 * 1024 * 1024
+N = 5
+STRIPES = 12
+
+
+def _poisoned(builder, n_errors, seed):
+    lse = LatentSectorErrors(ELEM)
+    ctrl = RaidController(
+        builder(N), n_stripes=STRIPES, element_size=ELEM, payload_bytes=8, lse=lse
+    )
+    rng = np.random.default_rng(seed)
+    # LSEs only on mirror disks, where a data-disk rebuild must read
+    lse.inject_random(rng, n_errors, builder(N).n_disks, STRIPES * N)
+    return ctrl, lse
+
+
+def test_bench_scrub_cost_and_payoff(benchmark):
+    def sweep():
+        losses_without_scrub = 0
+        trials = 6
+        for seed in range(trials):
+            ctrl, _ = _poisoned(traditional_mirror, 6, seed)
+            try:
+                ctrl.rebuild([0])
+            except UnrecoverableFailureError:
+                losses_without_scrub += 1
+        # with scrub first: never loses (unless both copies decayed,
+        # which these trials do not produce)
+        losses_with_scrub = 0
+        scrub_time = 0.0
+        for seed in range(trials):
+            ctrl, _ = _poisoned(traditional_mirror, 6, seed)
+            report = Scrubber(ctrl).run()
+            if not report.fully_repaired:
+                losses_with_scrub += 1
+                continue
+            try:
+                ctrl.rebuild([0])
+            except UnrecoverableFailureError:
+                losses_with_scrub += 1
+            scrub_time += report.makespan_s
+        return losses_without_scrub, losses_with_scrub, scrub_time / trials
+
+    lost_before, lost_after, mean_scrub_s = run_once(benchmark, sweep)
+    assert lost_before > 0  # the hazard is real at this error density
+    assert lost_after == 0  # and scrubbing removes it
+    benchmark.extra_info["rebuild_losses_without_scrub"] = lost_before
+    benchmark.extra_info["rebuild_losses_with_scrub"] = lost_after
+    benchmark.extra_info["mean_scrub_seconds"] = mean_scrub_s
+
+
+def test_bench_scrub_throughput(benchmark):
+    def sweep():
+        ctrl, _ = _poisoned(shifted_mirror, 0, 0)
+        return Scrubber(ctrl).run().scan_throughput_mbps
+
+    mbps = run_once(benchmark, sweep)
+    # all 2n disks streaming concurrently
+    assert mbps > 0.9 * 2 * N * 54.8
+    benchmark.extra_info["scan_mbps"] = mbps

@@ -1,0 +1,74 @@
+"""Ablation: does writing the rebuilt data to a hot spare bottleneck?
+
+§VI-B: rapid reads "may potentially improve reconstruction efficiency,
+especially for disk arrays where write speed is faster than read speed
+(for example, in our experiment environment)".  On the Savvio model
+(130 MB/s write vs 54.8 MB/s read) the spare's sequential writes keep
+up with even the shifted arrangement's parallel reads at moderate n —
+the rebuild stays read-bound.  On a hypothetical write-limited disk the
+spare becomes the bottleneck and the shifted arrangement's read-side
+gain is wasted.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.layouts import shifted_mirror, traditional_mirror
+from repro.disksim.disk import DiskParameters
+from repro.raidsim.controller import RaidController
+
+N = 4
+STRIPES = 12
+
+
+def _rebuild(builder, params, write_spare):
+    ctrl = RaidController(
+        builder(N),
+        n_stripes=STRIPES,
+        payload_bytes=8,
+        params=params,
+        spares=1,
+    )
+    return ctrl.rebuild([0], write_spare=write_spare)
+
+
+def test_bench_spare_writes_free_on_paper_disks(benchmark):
+    """With 130 MB/s writes, adding the spare write barely moves the
+    traditional rebuild and costs the shifted one only modestly."""
+
+    def sweep():
+        params = DiskParameters.savvio_10k3()
+        out = {}
+        for name, builder in (("trad", traditional_mirror), ("shift", shifted_mirror)):
+            read_only = _rebuild(builder, params, write_spare=False).makespan_s
+            with_spare = _rebuild(builder, params, write_spare=True).makespan_s
+            out[name] = (read_only, with_spare)
+        return out
+
+    res = run_once(benchmark, sweep)
+    for name, (read_only, with_spare) in res.items():
+        assert with_spare < 1.35 * read_only, (name, read_only, with_spare)
+    benchmark.extra_info["makespans_s"] = {
+        k: {"read_only": a, "with_spare": b} for k, (a, b) in res.items()
+    }
+
+
+def test_bench_slow_write_disk_bottlenecks_spare(benchmark):
+    """Counterfactual: a disk writing at a third of its read speed turns
+    the spare into the bottleneck for the shifted (read-parallel)
+    rebuild — the gain over traditional shrinks accordingly."""
+
+    def sweep():
+        fast = DiskParameters.savvio_10k3()
+        slow = fast.with_overrides(seq_write_mbps=18.0)
+        out = {}
+        for label, params in (("fast-write", fast), ("slow-write", slow)):
+            trad = _rebuild(traditional_mirror, params, write_spare=True).makespan_s
+            shift = _rebuild(shifted_mirror, params, write_spare=True).makespan_s
+            out[label] = trad / shift
+        return out
+
+    gains = run_once(benchmark, sweep)
+    assert gains["slow-write"] < 0.7 * gains["fast-write"]
+    benchmark.extra_info["rebuild_gain"] = gains

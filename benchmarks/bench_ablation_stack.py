@@ -1,0 +1,76 @@
+"""Ablation: the §II-A stack property, validated by simulation.
+
+The paper's measurement methodology leans on the *stack*: rotating
+logical roles across stripes makes every physical disk play every
+logical role, so enumerating logical failure cases on an unrotated
+array (what the Fig. 9 drivers do) must cover the same population of
+per-stripe reconstruction work as physically failing disks on a
+rotated stack.
+
+Equivalence holds at the aggregate level (total bytes read and total
+rebuild time across all failure cases); per-case *throughput ratios*
+need not match case-by-case, because one rotated physical failure
+mixes logical roles inside a single run (mean-of-ratios vs
+ratio-of-means).  The bench checks both the aggregate equality and, for
+the fully role-symmetric mirror method, the per-case mean as well.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.layouts import shifted_mirror, shifted_mirror_parity
+from repro.raidsim.controller import RaidController
+
+
+def _totals(builder, n, n_stripes, rotate):
+    layout = builder(n)
+    bytes_read = 0
+    time_s = 0.0
+    throughputs = []
+    for f in range(layout.n_disks):
+        ctrl = RaidController(
+            builder(n), n_stripes=n_stripes, payload_bytes=8, rotate=rotate
+        )
+        res = ctrl.rebuild([f])
+        assert res.verified
+        bytes_read += res.bytes_read
+        time_s += res.makespan_s
+        throughputs.append(res.read_throughput_mbps)
+    return bytes_read, time_s, sum(throughputs) / len(throughputs)
+
+
+def test_bench_stack_rotation_equivalence_mirror(benchmark):
+    n = 4
+
+    def sweep():
+        n_stripes = 2 * shifted_mirror(n).n_disks
+        return (
+            _totals(shifted_mirror, n, n_stripes, rotate=False),
+            _totals(shifted_mirror, n, n_stripes, rotate=True),
+        )
+
+    (lb, lt, lmean), (pb, pt, pmean) = run_once(benchmark, sweep)
+    assert lb == pb  # identical read volume
+    assert abs(lt - pt) / lt < 0.05  # same aggregate time
+    assert abs(lmean - pmean) / lmean < 0.05  # symmetric roles: per-case too
+    benchmark.extra_info["logical_mean_mbps"] = lmean
+    benchmark.extra_info["physical_rotated_mean_mbps"] = pmean
+
+
+def test_bench_stack_rotation_equivalence_parity(benchmark):
+    n = 3
+
+    def sweep():
+        n_stripes = 2 * shifted_mirror_parity(n).n_disks
+        return (
+            _totals(shifted_mirror_parity, n, n_stripes, rotate=False),
+            _totals(shifted_mirror_parity, n, n_stripes, rotate=True),
+        )
+
+    (lb, lt, lmean), (pb, pt, pmean) = run_once(benchmark, sweep)
+    assert lb == pb
+    assert abs(lt - pt) / lt < 0.10
+    benchmark.extra_info["logical_mean_mbps"] = lmean
+    benchmark.extra_info["physical_rotated_mean_mbps"] = pmean
+    benchmark.extra_info["aggregate_time_delta_pct"] = 100 * abs(lt - pt) / lt

@@ -1,0 +1,48 @@
+"""Bench: Fig. 10 — write throughput under random large writes.
+
+(a) mirror method; (b) mirror method with parity.  The claims under
+test: traditional and shifted are "about the same to a large extent",
+both rise with n, and the parity variant runs well below the plain
+mirror because its partial-row writes read old data and parity first.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig10 import run_a, run_b
+
+N_VALUES = (3, 4, 5, 6, 7)
+N_OPS = 200
+
+
+def test_bench_fig10a_mirror_writes(benchmark):
+    result = run_once(benchmark, run_a, N_VALUES, N_OPS)
+    assert result.data["intact"]
+    trad = result.data["traditional mirror (MB/s)"]
+    ratios = result.data["shifted/traditional"]
+    assert all(0.85 < r <= 1.02 for r in ratios)
+    assert all(b > a for a, b in zip(trad, trad[1:]))  # grows with n
+    benchmark.extra_info["shifted_over_traditional"] = ratios
+
+
+def test_bench_fig10b_mirror_parity_writes(benchmark):
+    result = run_once(benchmark, run_b, N_VALUES, N_OPS)
+    assert result.data["intact"]
+    trad = result.data["traditional mirror+parity (MB/s)"]
+    ratios = result.data["shifted/traditional"]
+    assert all(0.9 < r <= 1.02 for r in ratios)
+    assert all(b > a for a, b in zip(trad, trad[1:]))
+    benchmark.extra_info["shifted_over_traditional"] = ratios
+
+
+def test_bench_fig10_parity_below_mirror(benchmark):
+    def both():
+        return run_a((5,), 120), run_b((5,), 120)
+
+    a, b = run_once(benchmark, both)
+    mirror = a.data["traditional mirror (MB/s)"][0]
+    parity = b.data["traditional mirror+parity (MB/s)"][0]
+    assert parity < 0.6 * mirror
+    benchmark.extra_info["mirror_mbps"] = mirror
+    benchmark.extra_info["parity_mbps"] = parity

@@ -1,0 +1,23 @@
+"""Bench: Fig. 7 — theoretical relative read accesses up to n = 50.
+
+Checks the shape the paper plots: both curves fall fast, reach ~4-5 %
+at n = 50, and the RAID 6 (shorten) curve sits at or below the
+traditional mirror-with-parity curve.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig7 import run
+
+
+def test_bench_fig7_series(benchmark):
+    result = run_once(benchmark, run, 2, 50)
+    trad = result.data["vs_traditional_percent"]
+    raid6 = result.data["vs_raid6_percent"]
+    assert all(a >= b for a, b in zip(trad, trad[1:]))  # monotone fall
+    assert trad[-1] < 5.0  # "as low as 5 percent"
+    assert all(r6 <= tr + 1e-9 for r6, tr in zip(raid6, trad))
+    benchmark.extra_info["vs_traditional_at_50"] = trad[-1]
+    benchmark.extra_info["vs_raid6_at_50"] = raid6[-1]

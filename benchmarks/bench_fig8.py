@@ -1,0 +1,19 @@
+"""Bench: Fig. 8 — iterated arrangements and their properties at n = 3."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig8 import run
+
+
+def test_bench_fig8_iterates(benchmark):
+    result = run_once(benchmark, run, 3, 6)
+    data = result.data
+    # paper claims, asserted again here so the bench is self-validating
+    assert data[1] == {"P1": True, "P2": True, "P3": True}
+    assert data[3] == {"P1": True, "P2": True, "P3": False}
+    assert data[5] == {"P1": True, "P2": True, "P3": True}
+    benchmark.extra_info["properties_by_iterate"] = {
+        str(k): v for k, v in data.items()
+    }

@@ -1,0 +1,56 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Keeps the harness honest about its own cost: event-engine request
+throughput, plan generation rates, and the per-failure-case cost of the
+Fig. 9 driver.  Regressions here inflate every experiment's wall time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.layouts import shifted_mirror_parity
+from repro.disksim.array import ElementArray
+from repro.disksim.disk import DiskParameters
+from repro.disksim.request import IOKind
+from repro.disksim.scheduler import ElevatorScheduler, FIFOScheduler
+from repro.raidsim.availability import measure_case
+
+
+def _drive(n_requests: int, scheduler_factory) -> None:
+    arr = ElementArray(
+        8, 4 * 1024 * 1024, DiskParameters.savvio_10k3(), scheduler_factory
+    )
+    rng = np.random.default_rng(0)
+    for _ in range(n_requests):
+        arr.submit(
+            arr.element_request(
+                int(rng.integers(0, 8)), int(rng.integers(0, 512)), IOKind.READ
+            )
+        )
+    arr.run()
+
+
+@pytest.mark.parametrize("scheduler", [FIFOScheduler, ElevatorScheduler])
+def test_bench_engine_request_throughput(benchmark, scheduler):
+    benchmark(_drive, 2000, scheduler)
+
+
+def test_bench_plan_generation_rate(benchmark):
+    layout = shifted_mirror_parity(7)
+
+    def plans():
+        for failed in layout.all_failure_sets(2):
+            layout.reconstruction_plan(failed)
+
+    benchmark(plans)
+
+
+def test_bench_fig9_single_case_cost(benchmark):
+    """One measured failure case, the Fig. 9(b) inner loop."""
+    benchmark.pedantic(
+        lambda: measure_case(shifted_mirror_parity(5), (0, 7), n_stripes=12),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,31 @@
+"""Bench: Table I — failure situations of the shifted mirror with parity.
+
+Regenerates the table by exhaustive enumeration for n = 3..7 and checks
+the closed forms (2n / n(n-1) / n^2 cases; 1 / 2 / 2 accesses;
+Avg_Read = 4n/(2n+1)).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import run_once
+
+from repro.experiments.table1 import enumerate_table1, run
+
+
+def test_bench_table1_enumeration(benchmark):
+    result = run_once(benchmark, run, (3, 4, 5, 6, 7))
+    for n in (3, 4, 5, 6, 7):
+        rows = result.data[n]["rows"]
+        assert rows["F1"] == (2 * n, 1)
+        assert rows["F2"] == (n * (n - 1), 2)
+        assert rows["F3"] == (n * n, 2)
+        assert result.data[n]["avg_read"] == Fraction(4 * n, 2 * n + 1)
+    benchmark.extra_info["avg_read_n7"] = float(result.data[7]["avg_read"])
+
+
+def test_bench_table1_single_n_enumeration_cost(benchmark):
+    """Microbench: plan generation + classification for all 105 pairs."""
+    rows = benchmark(enumerate_table1, 7)
+    assert sum(c for c, _ in rows.values()) == 105

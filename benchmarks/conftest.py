@@ -1,0 +1,16 @@
+"""Shared benchmark helpers.
+
+Benchmarks double as the reproduction harness: each one regenerates a
+paper table/figure (or an ablation DESIGN.md calls for), attaches the
+numbers to ``benchmark.extra_info`` so they land in the saved JSON, and
+asserts the qualitative shape the paper reports.  Heavy simulations run
+with ``rounds=1`` — the metric of interest is the artifact, not the
+harness's own wall time.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Life of a degraded array: fail, keep serving, resync, verify.
+
+The paper's premise (§III) is that storage systems do not stop when a
+disk dies. This walkthrough drives the explicit degraded-mode API:
+
+1. a disk of a shifted mirror-with-parity array fails;
+2. the array keeps serving reads (routed to replicas or the parity
+   path) and writes (skipped cells tracked in a dirty map, parity
+   advanced by read-modify-write deltas);
+3. a replacement arrives; resync rebuilds the disk and replays the
+   dirty state;
+4. everything is verified byte-for-byte: old data against the
+   pre-failure snapshot, writes accepted while degraded against their
+   surviving redundancy.
+
+Run::
+
+    python examples/degraded_service.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import shifted_mirror_parity
+from repro.raidsim import DegradedArray, RaidController
+from repro.workloads import random_large_writes
+
+N = 4
+N_STRIPES = 6
+
+
+def main() -> None:
+    controller = RaidController(shifted_mirror_parity(N), n_stripes=N_STRIPES, payload_bytes=16)
+    print(f"Healthy {controller.layout.name} array, n={N}: "
+          f"redundancy intact = {controller.verify_redundancy()}")
+
+    print("\n-- disk 1 fails; entering degraded mode --")
+    degraded = DegradedArray(controller, [1])
+
+    rng = np.random.default_rng(42)
+    print("Serving reads that used to live on the failed disk:")
+    for j in range(3):
+        value = degraded.read(0, 1, j)
+        print(f"  a[1,{j}] of stripe 0 -> {value[:4].tolist()}... "
+              f"(served degraded: {degraded.stats.degraded_reads})")
+
+    print("\nAccepting writes while degraded:")
+    for op in random_large_writes(N, N_STRIPES, n_ops=8, rng=rng):
+        degraded.write(op, rng=rng)
+    print(f"  writes served: {degraded.stats.writes_served}, "
+          f"elements deferred to resync: {degraded.stats.elements_skipped}")
+    dirty_cells = sum(len(v) for v in degraded.dirty.values())
+    print(f"  dirty map holds {dirty_cells} stale cells")
+
+    print("\n-- replacement disk arrives; resyncing --")
+    result = degraded.resync()
+    print(f"  rebuilt {result.recovered_bytes / 2**20:.0f} MB in "
+          f"{result.makespan_s:.2f} s ({result.read_throughput_mbps:.1f} MB/s reads)")
+    print(f"  verified (old data + degraded writes): {result.verified}")
+    print(f"  full redundancy restored: {controller.verify_redundancy()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: the shifted element arrangement in five minutes.
+
+Walks the paper's core idea end to end:
+
+1. build the traditional and shifted mirror layouts;
+2. show where one data disk's replicas live under each arrangement;
+3. compare the read accesses a reconstruction needs;
+4. run both reconstructions on the simulated Savvio array and print
+   measured throughput — the Fig. 9(a) effect on one failure case.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ShiftedArrangement,
+    property_report,
+    shifted_mirror,
+    traditional_mirror,
+)
+from repro.raidsim import RaidController
+
+N = 5  # data disks, as in the middle of the paper's sweep
+
+
+def show_arrangement() -> None:
+    arr = ShiftedArrangement(N)
+    print(f"Shifted arrangement for n={N}: a[i,j] -> mirror disk (i+j) mod n, row i")
+    print("Replicas of data disk 0's elements land on mirror disks:",
+          arr.replica_disks_of_data_disk(0))
+    print("Properties:", property_report(arr))
+    print()
+
+
+def show_plans() -> None:
+    for layout in (traditional_mirror(N), shifted_mirror(N)):
+        plan = layout.reconstruction_plan([0])  # data disk 0 fails
+        print(f"{layout.name}: rebuilding data disk 0 needs "
+              f"{plan.num_read_accesses} parallel read access(es); "
+              f"reads per disk = {plan.reads_per_disk()}")
+    print()
+
+
+def run_simulation() -> None:
+    print(f"Simulated reconstruction of one failed disk (n={N}, 4 MB elements,")
+    print("Savvio 10K.3 array, 24 stripes):")
+    for build in (traditional_mirror, shifted_mirror):
+        controller = RaidController(build(N), n_stripes=24, payload_bytes=16)
+        result = controller.rebuild([0])
+        assert result.verified, "recovered bytes must match the original"
+        print(f"  {build(N).name:<16} {result.read_throughput_mbps:7.1f} MB/s "
+              f"(content verified: {result.verified})")
+    print()
+    print("The shifted arrangement turns one sequential replica stream into")
+    print(f"{N} parallel reads — the paper's factor-n data-availability gain.")
+
+
+if __name__ == "__main__":
+    show_arrangement()
+    show_plans()
+    run_simulation()

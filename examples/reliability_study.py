@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""What faster reconstruction is worth in mean time to data loss.
+
+The paper's introduction motivates the work with reliability: during
+reconstruction the array has reduced redundancy, so the rebuild
+duration is a vulnerability window. This study closes the loop:
+
+1. measure rebuild throughput for the traditional and shifted
+   arrangements on the simulated Savvio array (the Fig. 9 machinery);
+2. translate throughput into the repair window for a 300 GB disk;
+3. feed both into the standard Markov MTTDL models.
+
+For the one-fault mirror method MTTDL scales with 1/repair, so the
+availability gain carries over directly; for the two-fault mirror with
+parity it scales with 1/repair^2 — the reliability gain is the
+*square* of the Fig. 9(b) improvement.
+
+Run::
+
+    python examples/reliability_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    shifted_mirror,
+    shifted_mirror_parity,
+    traditional_mirror,
+    traditional_mirror_parity,
+)
+from repro.core.reliability import compare_architectures
+from repro.raidsim import measure_case
+
+MTTF_HOURS = 1.0e6
+DISK_BYTES = 300e9  # the Savvio 10K.3's 300 GB
+
+
+def study(n: int) -> None:
+    print(f"n = {n} data disks, disk MTTF {MTTF_HOURS:.0e} h, 300 GB per disk\n")
+    rows = [
+        ("mirror (ft=1)", traditional_mirror(n), shifted_mirror(n), 1),
+        (
+            "mirror+parity (ft=2)",
+            traditional_mirror_parity(n),
+            shifted_mirror_parity(n),
+            2,
+        ),
+    ]
+    header = (
+        f"{'architecture':<22}{'rebuild trad':>14}{'rebuild shift':>15}"
+        f"{'repair trad':>13}{'repair shift':>14}{'MTTDL gain':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, trad_layout, shift_layout, ft in rows:
+        trad = measure_case(trad_layout, (0,), n_stripes=12)
+        shif = measure_case(shift_layout, (0,), n_stripes=12)
+        cmp_ = compare_architectures(
+            n_disks=trad_layout.n_disks,
+            traditional_mbps=trad.read_throughput_mbps,
+            shifted_mbps=shif.read_throughput_mbps,
+            fault_tolerance=ft,
+            disk_capacity_bytes=DISK_BYTES,
+            mttf_hours=MTTF_HOURS,
+            name=label,
+        )
+        print(
+            f"{label:<22}"
+            f"{trad.read_throughput_mbps:>10.1f} MB/s"
+            f"{shif.read_throughput_mbps:>11.1f} MB/s"
+            f"{cmp_.repair_hours_traditional:>11.2f} h"
+            f"{cmp_.repair_hours_shifted:>12.2f} h"
+            f"{cmp_.improvement:>11.1f}x"
+        )
+    print(
+        "\nThe one-fault gain equals the throughput ratio; the two-fault gain\n"
+        "is its square — shrinking the window pays twice when two failures\n"
+        "must overlap to lose data."
+    )
+
+
+if __name__ == "__main__":
+    study(5)

@@ -1,0 +1,32 @@
+"""repro — reproduction of "Shifted Element Arrangement in Mirror Disk
+Arrays for High Data Availability during Reconstruction" (Luo, Shu,
+Zhao — ICPP 2012).
+
+Subpackages
+-----------
+* :mod:`repro.core` — the paper's contribution: element arrangements,
+  properties, layouts, reconstruction/write plans, closed-form analysis.
+* :mod:`repro.codes` — erasure-coding substrate (GF(2^w), Reed-Solomon,
+  EVENODD, RDP) standing in for Jerasure-1.2.
+* :mod:`repro.disksim` — event-driven disk array simulator calibrated
+  to the paper's Savvio 10K.3 testbed.
+* :mod:`repro.raidsim` — RAID controller, rebuild and write drivers,
+  availability measurement.
+* :mod:`repro.workloads` — write mixes, user read streams, synthetic
+  film content.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quick start
+-----------
+>>> from repro.core import shifted_mirror, traditional_mirror
+>>> traditional_mirror(5).reconstruction_plan([0]).num_read_accesses
+5
+>>> shifted_mirror(5).reconstruction_plan([0]).num_read_accesses
+1
+"""
+
+__version__ = "1.0.0"
+
+from . import codes, core, disksim, experiments, raidsim, workloads
+
+__all__ = ["codes", "core", "disksim", "raidsim", "workloads", "experiments", "__version__"]

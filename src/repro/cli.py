@@ -1,0 +1,329 @@
+"""Command-line front end.
+
+Everything a downstream user needs without writing Python::
+
+    repro arrange --n 3 --iterate 1          # show an arrangement + properties
+    repro table1 --n 5                       # Table I for n data disks
+    repro plan --layout shifted-mirror-parity --n 5 --failed 1 8
+    repro write-plan --layout shifted-mirror-parity --n 5 --row 2
+    repro simulate rebuild --layout shifted-mirror --n 5 --failed 0
+    repro simulate writes --layout mirror --n 5 --ops 200
+    repro experiments --quick                # every table/figure
+
+(also reachable as ``python -m repro ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.arrangement import (
+    IdentityArrangement,
+    IteratedArrangement,
+    PermutationArrangement,
+    ShiftedArrangement,
+)
+from .core.layouts import (
+    Layout,
+    MirrorLayout,
+    MirrorParityLayout,
+    RAID5Layout,
+    RAID6Layout,
+    ThreeMirrorLayout,
+    XCodeLayout,
+)
+from .core.properties import property_report
+
+__all__ = ["main", "build_layout", "LAYOUTS"]
+
+
+def _reverse_shift(n: int) -> PermutationArrangement:
+    return PermutationArrangement(
+        n, {(i, j): ((i - j) % n, i) for i in range(n) for j in range(n)}
+    )
+
+
+#: layout name -> builder taking the data-disk count
+LAYOUTS = {
+    "mirror": lambda n: MirrorLayout(n, IdentityArrangement(n)),
+    "shifted-mirror": lambda n: MirrorLayout(n, ShiftedArrangement(n)),
+    "mirror-parity": lambda n: MirrorParityLayout(n, IdentityArrangement(n)),
+    "shifted-mirror-parity": lambda n: MirrorParityLayout(n, ShiftedArrangement(n)),
+    "three-mirror": lambda n: ThreeMirrorLayout(n),
+    "shifted-three-mirror": lambda n: ThreeMirrorLayout(
+        n, ShiftedArrangement(n), _reverse_shift(n)
+    ),
+    "raid5": RAID5Layout,
+    "raid6-evenodd": lambda n: RAID6Layout(n, "evenodd"),
+    "raid6-rdp": lambda n: RAID6Layout(n, "rdp"),
+    "xcode": XCodeLayout,  # n must be prime >= 5
+}
+
+
+def build_layout(name: str, n: int) -> Layout:
+    """Instantiate a layout by CLI name."""
+    try:
+        builder = LAYOUTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown layout {name!r}; choose from {', '.join(sorted(LAYOUTS))}"
+        ) from None
+    return builder(n)
+
+
+# ======================================================================
+# subcommands
+# ======================================================================
+
+
+def cmd_arrange(args: argparse.Namespace) -> int:
+    from .experiments.fig8 import arrangement_grid
+
+    n = args.n
+    if args.identity:
+        arr, label = IdentityArrangement(n), "identity"
+        grid = arrangement_grid(n, 0)
+    else:
+        arr, label = IteratedArrangement(n, args.iterate), f"iterate {args.iterate}"
+        grid = arrangement_grid(n, args.iterate)
+    print(f"Arrangement: {label} on an n={n} stripe")
+    print("Mirror array contents (element numbers, Fig. 8 style):")
+    for line in grid.splitlines():
+        print(f"  {line}")
+    rep = property_report(arr)
+    print(f"Properties: P1={rep['P1']} P2={rep['P2']} P3={rep['P3']}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments.table1 import run
+
+    print(run((args.n,)).text)
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    layout = build_layout(args.layout, args.n)
+    plan = layout.reconstruction_plan(args.failed)
+    print(f"{layout.name}: reconstruction of disks {list(plan.failed_disks)}")
+    print(f"  parallel read accesses: {plan.num_read_accesses}")
+    print(f"  elements read:          {plan.total_elements_read}")
+    print(f"  reads per disk:         {plan.reads_per_disk()}")
+    by_method: dict[str, int] = {}
+    for step in plan.steps:
+        by_method[step.method.value] = by_method.get(step.method.value, 0) + 1
+    print(f"  recovery steps:         {by_method}")
+    if args.verbose:
+        for step in plan.steps:
+            srcs = ", ".join(f"({d},{r})" for d, r in step.sources[:8])
+            more = " ..." if len(step.sources) > 8 else ""
+            print(f"    {step.target} <- {step.method.value}[{srcs}{more}]")
+    return 0
+
+
+def cmd_write_plan(args: argparse.Namespace) -> int:
+    layout = build_layout(args.layout, args.n)
+    if args.row is not None:
+        plan = layout.large_write_plan(args.row, strategy=args.strategy)
+        what = f"full row {args.row}"
+    else:
+        cells = [tuple(map(int, e.split(","))) for e in args.element]
+        plan = layout.write_plan(cells, strategy=args.strategy)
+        what = f"elements {cells}"
+    print(f"{layout.name}: write of {what} ({args.strategy})")
+    print(f"  write accesses: {plan.num_write_accesses}  "
+          f"(elements written: {plan.total_elements_written})")
+    print(f"  read accesses:  {plan.num_read_accesses}  "
+          f"(elements read: {plan.total_elements_read})")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .raidsim.controller import RaidController
+    from .workloads.generator import random_large_writes
+
+    layout = build_layout(args.layout, args.n)
+    controller = RaidController(
+        layout, n_stripes=args.stripes, payload_bytes=16
+    )
+    if args.what == "rebuild":
+        result = controller.rebuild(args.failed)
+        print(f"{layout.name}: rebuilt disks {list(result.failed_disks)} over "
+              f"{args.stripes} stripes")
+        print(f"  makespan:           {result.makespan_s:.3f} s")
+        print(f"  read throughput:    {result.read_throughput_mbps:.1f} MB/s")
+        print(f"  recovered:          {result.recovered_bytes / 2**20:.0f} MB "
+              f"({result.recovered_throughput_mbps:.1f} MB/s)")
+        print(f"  content verified:   {result.verified}")
+    else:
+        rng = np.random.default_rng(args.seed)
+        ops = random_large_writes(layout.n, args.stripes, n_ops=args.ops, rng=rng)
+        result = controller.run_write_workload(ops, window=1, rng=rng)
+        print(f"{layout.name}: {result.n_ops} random large writes")
+        print(f"  makespan:         {result.makespan_s:.3f} s")
+        print(f"  write throughput: {result.write_throughput_mbps:.1f} MB/s (user data)")
+        print(f"  redundancy intact: {controller.verify_redundancy()}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_all
+
+    for result in run_all(quick=args.quick):
+        if args.only and result.experiment_id not in args.only:
+            continue
+        print(result)
+        print()
+    return 0
+
+
+def cmd_svg(args: argparse.Namespace) -> int:
+    from .experiments.svgplot import render_all, render_rebuild_timelines
+
+    for path in render_all(args.outdir, quick=args.quick):
+        print(f"wrote {path}")
+    if args.timelines:
+        for path in render_rebuild_timelines(args.outdir):
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_reliability(args: argparse.Namespace) -> int:
+    from .core.reliability import compare_architectures
+    from .raidsim.availability import measure_case
+
+    layout = build_layout(args.layout, args.n)
+    trad_name = args.layout.replace("shifted-", "")
+    traditional = build_layout(trad_name, args.n)
+    trad = measure_case(traditional, (0,), n_stripes=args.stripes)
+    shif = measure_case(layout, (0,), n_stripes=args.stripes)
+    cmp_ = compare_architectures(
+        n_disks=layout.n_disks,
+        traditional_mbps=trad.read_throughput_mbps,
+        shifted_mbps=shif.read_throughput_mbps,
+        fault_tolerance=layout.fault_tolerance,
+        mttf_hours=args.mttf,
+    )
+    print(f"{trad_name} vs {args.layout} at n={args.n} (MTTF {args.mttf:.0e} h):")
+    print(f"  rebuild:  {trad.read_throughput_mbps:.1f} -> "
+          f"{shif.read_throughput_mbps:.1f} MB/s")
+    print(f"  repair:   {cmp_.repair_hours_traditional:.2f} -> "
+          f"{cmp_.repair_hours_shifted:.2f} h")
+    print(f"  MTTDL:    {cmp_.mttdl_traditional_hours:.3e} -> "
+          f"{cmp_.mttdl_shifted_hours:.3e} h  ({cmp_.improvement:.1f}x)")
+    return 0
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    from .disksim.faults import LatentSectorErrors
+    from .raidsim.controller import RaidController
+    from .raidsim.scrub import Scrubber
+
+    layout = build_layout(args.layout, args.n)
+    lse = LatentSectorErrors(4 * 1024 * 1024)
+    controller = RaidController(
+        layout, n_stripes=args.stripes, payload_bytes=16, lse=lse
+    )
+    rng = np.random.default_rng(args.seed)
+    lse.inject_random(rng, args.errors, layout.n_disks, args.stripes * layout.rows)
+    report = Scrubber(controller).run()
+    print(f"{layout.name}: scrubbed {report.elements_scanned} elements in "
+          f"{report.makespan_s:.2f} s ({report.scan_throughput_mbps:.0f} MB/s)")
+    print(f"  latent sector errors found:    {report.errors_found}")
+    print(f"  repaired from redundancy:      {report.errors_repaired}")
+    if report.unrepairable:
+        print(f"  UNREPAIRABLE (data at risk):   {list(report.unrepairable)}")
+    else:
+        print("  array is fully repaired; a rebuild is now safe")
+    return 0
+
+
+# ======================================================================
+# parser
+# ======================================================================
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shifted mirror disk arrays (ICPP 2012) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("arrange", help="show an arrangement and its properties")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--iterate", type=int, default=1, help="T-iterations (1 = shifted)")
+    p.add_argument("--identity", action="store_true", help="traditional arrangement")
+    p.set_defaults(func=cmd_arrange)
+
+    p = sub.add_parser("table1", help="Table I for n data disks")
+    p.add_argument("--n", type=int, default=5)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("plan", help="reconstruction plan for a failure set")
+    p.add_argument("--layout", required=True, choices=sorted(LAYOUTS))
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--failed", type=int, nargs="+", required=True)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("write-plan", help="write plan for elements or a row")
+    p.add_argument("--layout", required=True, choices=sorted(LAYOUTS))
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--row", type=int, help="full-row (large) write")
+    p.add_argument("--element", nargs="+", default=[], metavar="I,J")
+    p.add_argument("--strategy", choices=["rmw", "reconstruct"], default="rmw")
+    p.set_defaults(func=cmd_write_plan)
+
+    p = sub.add_parser("simulate", help="run the disk-array simulator")
+    p.add_argument("what", choices=["rebuild", "writes"])
+    p.add_argument("--layout", required=True, choices=sorted(LAYOUTS))
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--failed", type=int, nargs="+", default=[0])
+    p.add_argument("--stripes", type=int, default=16)
+    p.add_argument("--ops", type=int, default=200)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--only", nargs="+", metavar="ID",
+                   help="restrict to experiment ids (table1 fig7 fig8 fig9a fig9b fig10a fig10b ext-three-mirror)")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("svg", help="render Figs. 7/9/10 as SVG files")
+    p.add_argument("--outdir", default="figures")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--timelines", action="store_true",
+                   help="also render per-disk rebuild Gantt timelines")
+    p.set_defaults(func=cmd_svg)
+
+    p = sub.add_parser("reliability", help="MTTDL impact of the shifted rebuild")
+    p.add_argument("--layout", default="shifted-mirror",
+                   choices=[name for name in LAYOUTS if name.startswith("shifted")])
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--stripes", type=int, default=12)
+    p.add_argument("--mttf", type=float, default=1.0e6)
+    p.set_defaults(func=cmd_reliability)
+
+    p = sub.add_parser("scrub", help="inject latent sector errors and scrub them")
+    p.add_argument("--layout", default="shifted-mirror-parity", choices=sorted(LAYOUTS))
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--stripes", type=int, default=12)
+    p.add_argument("--errors", type=int, default=6)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_scrub)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

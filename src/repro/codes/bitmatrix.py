@@ -1,0 +1,184 @@
+"""Cauchy Reed-Solomon bit-matrix coding (the second half of Jerasure).
+
+Jerasure-1.2 ships two coding engines: the GF(2^w) matrix coder
+(:mod:`repro.codes.reed_solomon`) and the *bit-matrix* coder, which
+expands each field element into a ``w x w`` binary matrix so that both
+encoding and decoding become pure XORs of word-aligned *packets* —
+no multiplication tables on the data path.  Combined with a Cauchy
+generator matrix this is Cauchy Reed-Solomon (CRS) coding
+(Blomer et al.; Plank & Xu).
+
+Representation
+--------------
+Multiplying by a constant ``c`` in GF(2^w) is linear over GF(2); in the
+polynomial basis ``1, x, x^2, ...`` it is the binary matrix whose j-th
+column holds the bits of ``c * x^j``.  A ``(k+m) x k`` field matrix
+thus becomes a ``(k+m)w x kw`` binary matrix.  Each device region is
+split into ``w`` equal packets, and coding packet ``r`` of device ``i``
+is the XOR of every data packet whose bit-matrix entry is one.
+
+The number of ones in the coding rows is exactly the XOR count of an
+encode, which :meth:`BitMatrixCode.encode_xor_count` exposes — the
+metric Jerasure's papers optimise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .galois import GF
+from .matrix import cauchy_matrix, identity, invert
+
+__all__ = [
+    "gf_constant_to_bitmatrix",
+    "gf_matrix_to_bitmatrix",
+    "BitMatrixCode",
+    "CauchyRSCode",
+]
+
+
+def gf_constant_to_bitmatrix(constant: int, gf: GF) -> np.ndarray:
+    """The ``w x w`` GF(2) matrix of "multiply by ``constant``".
+
+    Column ``j`` holds the bit decomposition (LSB first) of
+    ``constant * x^j``.
+    """
+    w = gf.w
+    out = np.zeros((w, w), dtype=np.uint8)
+    for j in range(w):
+        product = gf.multiply(constant, 1 << j)
+        for bit in range(w):
+            out[bit, j] = (product >> bit) & 1
+    return out
+
+
+def gf_matrix_to_bitmatrix(matrix: np.ndarray, gf: GF) -> np.ndarray:
+    """Expand an ``r x c`` field matrix into an ``rw x cw`` binary matrix."""
+    matrix = np.asarray(matrix)
+    r, c = matrix.shape
+    w = gf.w
+    out = np.zeros((r * w, c * w), dtype=np.uint8)
+    for i in range(r):
+        for j in range(c):
+            out[i * w : (i + 1) * w, j * w : (j + 1) * w] = gf_constant_to_bitmatrix(
+                int(matrix[i, j]), gf
+            )
+    return out
+
+
+class BitMatrixCode:
+    """Systematic erasure code driven by a binary coding matrix.
+
+    Parameters
+    ----------
+    k, m:
+        Data and coding device counts.
+    w:
+        Packets per device (= the field word size the matrix came from).
+    field_matrix:
+        The ``(k+m) x k`` *field* distribution matrix whose top block is
+        the identity.  Kept around so decoding can invert survivor
+        submatrices in the field (cheaper and better tested than a
+        GF(2) inversion of the expanded matrix).
+    gf:
+        The field the matrix lives in.
+    """
+
+    def __init__(self, k: int, m: int, field_matrix: np.ndarray, gf: GF) -> None:
+        field_matrix = np.asarray(field_matrix)
+        if field_matrix.shape != (k + m, k):
+            raise ValueError(
+                f"field matrix must be ({k + m}, {k}), got {field_matrix.shape}"
+            )
+        if not np.array_equal(field_matrix[:k], identity(k, gf)):
+            raise ValueError("field matrix must be systematic (identity on top)")
+        self.k = k
+        self.m = m
+        self.gf = gf
+        self.w = gf.w
+        self.field_matrix = field_matrix.astype(gf.dtype)
+        #: the m*w x k*w binary generator of the coding packets
+        self.coding_bitmatrix = gf_matrix_to_bitmatrix(field_matrix[k:], gf)
+
+    # ------------------------------------------------------------------
+    def _packets(self, region: np.ndarray) -> np.ndarray:
+        region = np.ascontiguousarray(region, dtype=np.uint8)
+        if region.size % self.w:
+            raise ValueError(
+                f"region of {region.size} bytes not divisible into {self.w} packets"
+            )
+        return region.reshape(self.w, -1)
+
+    def encode(self, data_regions: list[np.ndarray]) -> list[np.ndarray]:
+        """Compute the ``m`` coding regions with XORs only."""
+        if len(data_regions) != self.k:
+            raise ValueError(f"expected {self.k} data regions, got {len(data_regions)}")
+        packets = [self._packets(r) for r in data_regions]
+        sizes = {p.shape[1] for p in packets}
+        if len(sizes) != 1:
+            raise ValueError("all data regions must have equal length")
+        psize = sizes.pop()
+        out: list[np.ndarray] = []
+        for i in range(self.m):
+            coded = np.zeros((self.w, psize), dtype=np.uint8)
+            for r in range(self.w):
+                row = self.coding_bitmatrix[i * self.w + r]
+                for j in range(self.k):
+                    for s in range(self.w):
+                        if row[j * self.w + s]:
+                            coded[r] ^= packets[j][s]
+            out.append(coded.reshape(-1))
+        return out
+
+    def encode_xor_count(self) -> int:
+        """Packet XORs per encode: ones in the coding bit-matrix minus
+        one per output packet (the first term is a copy)."""
+        ones = int(self.coding_bitmatrix.sum())
+        return ones - self.m * self.w
+
+    # ------------------------------------------------------------------
+    def decode(self, devices: list[np.ndarray | None]) -> list[np.ndarray]:
+        """Recover every device from any ``k`` survivors."""
+        if len(devices) != self.k + self.m:
+            raise ValueError(
+                f"expected {self.k + self.m} device slots, got {len(devices)}"
+            )
+        erased = [i for i, d in enumerate(devices) if d is None]
+        if len(erased) > self.m:
+            raise ValueError(f"{len(erased)} erasures exceed tolerance m={self.m}")
+        survivors = [i for i, d in enumerate(devices) if d is not None][: self.k]
+        sub = self.field_matrix[survivors]
+        inv = invert(sub, self.gf)  # k x k over the field
+        inv_bits = gf_matrix_to_bitmatrix(inv, self.gf)
+        packets = [self._packets(devices[i]) for i in survivors]
+        psize = packets[0].shape[1]
+        data: list[np.ndarray] = []
+        for i in range(self.k):
+            out = np.zeros((self.w, psize), dtype=np.uint8)
+            for r in range(self.w):
+                row = inv_bits[i * self.w + r]
+                for j in range(self.k):
+                    for s in range(self.w):
+                        if row[j * self.w + s]:
+                            out[r] ^= packets[j][s]
+            data.append(out.reshape(-1))
+        coding = self.encode(data)
+        return data + coding
+
+
+class CauchyRSCode(BitMatrixCode):
+    """Cauchy Reed-Solomon: a Cauchy matrix under the identity.
+
+    Every square submatrix of a Cauchy matrix over GF(2^w) is
+    invertible, so any ``m`` erasures decode; all data-path work is
+    XOR of packets.
+    """
+
+    def __init__(self, k: int, m: int, w: int = 8) -> None:
+        gf = GF(w)
+        if k + m > gf.size:
+            raise ValueError(f"k+m = {k + m} exceeds field size 2^{w}")
+        field_matrix = np.concatenate(
+            [identity(k, gf), cauchy_matrix(k, m, gf)], axis=0
+        )
+        super().__init__(k, m, field_matrix, gf)

@@ -1,0 +1,164 @@
+"""Unified erasure-decode facade over the code zoo.
+
+Layouts in :mod:`repro.core` need "given these surviving element
+buffers, produce the lost ones" without caring which concrete code
+backs the stripe.  :class:`ErasureDecoder` provides that interface for
+single-parity (RAID 5), Reed-Solomon, EVENODD and RDP stripes.
+
+Device ordering convention: data devices first, then parity devices in
+code-specific order (P then Q for the RAID 6 codes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .evenodd import EvenOdd
+from .rdp import RDP
+from .reed_solomon import RSCode
+from .xor_code import parity_region, recover_from_parity
+
+__all__ = ["ErasureDecoder", "SingleParityDecoder", "RSDecoder", "EvenOddDecoder", "RDPDecoder"]
+
+
+class ErasureDecoder:
+    """Abstract decode interface.
+
+    Subclasses define ``n_data``, ``n_parity`` and implement
+    :meth:`decode`, which accepts a device list (``None`` = erased) and
+    returns the complete device list.
+    """
+
+    n_data: int
+    n_parity: int
+
+    @property
+    def n_devices(self) -> int:
+        return self.n_data + self.n_parity
+
+    def fault_tolerance(self) -> int:
+        """Number of simultaneous device erasures the code survives."""
+        return self.n_parity
+
+    def decode(self, devices: list[np.ndarray | None]) -> list[np.ndarray]:
+        raise NotImplementedError
+
+    def _check(self, devices: list[np.ndarray | None]) -> list[int]:
+        if len(devices) != self.n_devices:
+            raise ValueError(f"expected {self.n_devices} device slots, got {len(devices)}")
+        erased = [i for i, d in enumerate(devices) if d is None]
+        if len(erased) > self.fault_tolerance():
+            raise ValueError(
+                f"{len(erased)} erasures exceed tolerance {self.fault_tolerance()}"
+            )
+        return erased
+
+
+class SingleParityDecoder(ErasureDecoder):
+    """RAID 5-style single parity over ``n`` data devices."""
+
+    def __init__(self, n_data: int) -> None:
+        self.n_data = n_data
+        self.n_parity = 1
+
+    def decode(self, devices: list[np.ndarray | None]) -> list[np.ndarray]:
+        erased = self._check(devices)
+        out = [None if d is None else np.asarray(d, dtype=np.uint8) for d in devices]
+        if not erased:
+            return out
+        lost = erased[0]
+        survivors = [d for i, d in enumerate(out) if i != lost]
+        if lost == self.n_data:  # the parity device itself
+            out[lost] = parity_region(survivors)
+        else:
+            data_survivors = [out[i] for i in range(self.n_data) if i != lost]
+            out[lost] = recover_from_parity(data_survivors, out[self.n_data])
+        return out
+
+
+class RSDecoder(ErasureDecoder):
+    """Reed-Solomon ``(k, m)`` decode."""
+
+    def __init__(self, k: int, m: int, w: int = 8) -> None:
+        self.n_data = k
+        self.n_parity = m
+        self.code = RSCode(k, m, w)
+
+    def decode(self, devices: list[np.ndarray | None]) -> list[np.ndarray]:
+        self._check(devices)
+        return self.code.decode_all(devices)
+
+
+class _ColumnStripeDecoder(ErasureDecoder):
+    """Shared plumbing for the columnar RAID 6 codes (EVENODD / RDP).
+
+    Device buffers are flat 1-D byte regions; the code sees them as
+    ``(rows, element_size)`` columns.
+    """
+
+    rows: int
+
+    def _columns(self, devices: list[np.ndarray | None]) -> list[np.ndarray | None]:
+        cols: list[np.ndarray | None] = []
+        for d in devices:
+            if d is None:
+                cols.append(None)
+            else:
+                flat = np.ascontiguousarray(d, dtype=np.uint8)
+                if flat.size % self.rows:
+                    raise ValueError(
+                        f"device buffer of {flat.size} bytes is not divisible into "
+                        f"{self.rows} rows"
+                    )
+                cols.append(flat.reshape(self.rows, -1))
+        return cols
+
+
+class EvenOddDecoder(_ColumnStripeDecoder):
+    """EVENODD decode over flat per-device buffers (shortened to ``n``)."""
+
+    def __init__(self, n_data: int, p: int | None = None) -> None:
+        from .evenodd import smallest_prime_at_least
+
+        p = smallest_prime_at_least(max(n_data, 3)) if p is None else p
+        self.code = EvenOdd(p, n_data)
+        self.n_data = n_data
+        self.n_parity = 2
+        self.rows = self.code.rows
+
+    def decode(self, devices: list[np.ndarray | None]) -> list[np.ndarray]:
+        self._check(devices)
+        cols = self._columns(devices)
+        data_cols = cols[: self.n_data]
+        row_par = cols[self.n_data]
+        diag_par = cols[self.n_data + 1]
+        data, new_p, new_q = self.code.decode(data_cols, row_par, diag_par)
+        out = [np.ascontiguousarray(data[:, j]).reshape(-1) for j in range(self.n_data)]
+        out.append(new_p.reshape(-1))
+        out.append(new_q.reshape(-1))
+        return out
+
+
+class RDPDecoder(_ColumnStripeDecoder):
+    """RDP decode over flat per-device buffers (shortened to ``n``)."""
+
+    def __init__(self, n_data: int, p: int | None = None) -> None:
+        from .evenodd import smallest_prime_at_least
+
+        p = smallest_prime_at_least(max(n_data + 1, 3)) if p is None else p
+        self.code = RDP(p, n_data)
+        self.n_data = n_data
+        self.n_parity = 2
+        self.rows = self.code.rows
+
+    def decode(self, devices: list[np.ndarray | None]) -> list[np.ndarray]:
+        self._check(devices)
+        cols = self._columns(devices)
+        data_cols = cols[: self.n_data]
+        row_par = cols[self.n_data]
+        diag_par = cols[self.n_data + 1]
+        data, new_p, new_q = self.code.decode(data_cols, row_par, diag_par)
+        out = [np.ascontiguousarray(data[:, j]).reshape(-1) for j in range(self.n_data)]
+        out.append(new_p.reshape(-1))
+        out.append(new_q.reshape(-1))
+        return out

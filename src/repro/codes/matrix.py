@@ -1,0 +1,168 @@
+"""Matrices over GF(2^w) for matrix-based erasure codes.
+
+Reed-Solomon coding in the Jerasure style is "matrix coding": a
+``(k+m) x k`` distribution matrix whose top ``k x k`` block is the
+identity (systematic code) and whose bottom ``m`` rows generate the
+coding devices.  Decoding inverts the ``k x k`` submatrix formed by any
+``k`` surviving rows.  This module supplies those matrix operations.
+
+All matrices are 2-D NumPy arrays with the field's dtype; the field is
+passed explicitly to every operation (no global state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .galois import GF
+
+__all__ = [
+    "identity",
+    "matmul",
+    "matvec_regions",
+    "invert",
+    "vandermonde",
+    "rs_distribution_matrix",
+    "cauchy_matrix",
+    "is_invertible",
+]
+
+
+def identity(n: int, gf: GF) -> np.ndarray:
+    """The ``n x n`` identity matrix over the field."""
+    return np.eye(n, dtype=gf.dtype)
+
+
+def matmul(a: np.ndarray, b: np.ndarray, gf: GF) -> np.ndarray:
+    """Matrix product over GF(2^w).
+
+    Implemented as a broadcastable table-multiply followed by an XOR
+    reduction — the GF analogue of ``a @ b``.
+    """
+    a = np.asarray(a, dtype=gf.dtype)
+    b = np.asarray(b, dtype=gf.dtype)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch for GF matmul: {a.shape} x {b.shape}")
+    # products[i, j, l] = a[i, l] * b[l, j]
+    products = gf.multiply(a[:, None, :], b.T[None, :, :])
+    return np.bitwise_xor.reduce(products, axis=2).astype(gf.dtype)
+
+
+def matvec_regions(matrix: np.ndarray, regions: list[np.ndarray], gf: GF) -> list[np.ndarray]:
+    """Apply a coding matrix to a vector of data *regions*.
+
+    Each output region ``i`` is ``XOR_j matrix[i, j] * regions[j]``.
+    This is the bulk-encode kernel shared by Reed-Solomon encode and
+    decode.
+    """
+    matrix = np.asarray(matrix, dtype=gf.dtype)
+    if matrix.shape[1] != len(regions):
+        raise ValueError(
+            f"matrix has {matrix.shape[1]} columns but {len(regions)} regions were given"
+        )
+    return [gf.dot_regions(row, regions) for row in matrix]
+
+
+def invert(matrix: np.ndarray, gf: GF) -> np.ndarray:
+    """Invert a square matrix over GF(2^w) by Gauss-Jordan elimination.
+
+    Raises
+    ------
+    np.linalg.LinAlgError
+        If the matrix is singular.
+    """
+    matrix = np.asarray(matrix, dtype=gf.dtype)
+    n, m = matrix.shape
+    if n != m:
+        raise ValueError(f"cannot invert non-square matrix of shape {matrix.shape}")
+    # Work in an augmented [A | I] block.
+    aug = np.concatenate([matrix.astype(np.int64), np.eye(n, dtype=np.int64)], axis=1)
+    for col in range(n):
+        # pivot selection: any nonzero entry in/below the diagonal
+        pivot_rows = np.nonzero(aug[col:, col])[0]
+        if pivot_rows.size == 0:
+            raise np.linalg.LinAlgError("matrix is singular over GF(2^w)")
+        pivot = col + int(pivot_rows[0])
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        # normalise the pivot row
+        inv_p = gf.inverse(int(aug[col, col]))
+        aug[col] = gf.multiply(np.full(2 * n, inv_p, dtype=np.int64), aug[col])
+        # eliminate the column everywhere else (vectorised across rows)
+        factors = aug[:, col].copy()
+        factors[col] = 0
+        nonzero = np.nonzero(factors)[0]
+        if nonzero.size:
+            contrib = gf.multiply(factors[nonzero][:, None], aug[col][None, :])
+            aug[nonzero] ^= contrib.astype(np.int64)
+    return aug[:, n:].astype(gf.dtype)
+
+
+def is_invertible(matrix: np.ndarray, gf: GF) -> bool:
+    """Whether a square matrix over the field has an inverse."""
+    try:
+        invert(matrix, gf)
+        return True
+    except np.linalg.LinAlgError:
+        return False
+
+
+def vandermonde(rows: int, cols: int, gf: GF) -> np.ndarray:
+    """The ``rows x cols`` Vandermonde matrix ``V[i, j] = i^j`` over the field.
+
+    Note the convention (matching Jerasure): row index is the evaluation
+    point, column index the power, and row 0 evaluates at element 0
+    (hence ``V[0] = [1, 0, 0, ...]``).
+    """
+    if rows > gf.size:
+        raise ValueError(f"cannot build a Vandermonde matrix with {rows} rows over {gf!r}")
+    out = np.zeros((rows, cols), dtype=gf.dtype)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf.power(i, j) if not (i == 0 and j == 0) else 1
+    return out
+
+
+def rs_distribution_matrix(k: int, m: int, gf: GF) -> np.ndarray:
+    """Systematic ``(k+m) x k`` Reed-Solomon distribution matrix.
+
+    Built from an extended Vandermonde matrix transformed by elementary
+    column operations so that the top ``k`` rows form the identity (the
+    classic Plank construction used by Jerasure).  Any ``k`` of the
+    ``k+m`` rows are linearly independent, which is what makes the code
+    MDS: any ``m`` device failures are decodable.
+    """
+    if k + m > gf.size:
+        raise ValueError(f"k+m = {k + m} exceeds field size {gf.size}; use a larger w")
+    v = vandermonde(k + m, k, gf).astype(np.int64)
+    # Column-reduce so the top k x k block becomes the identity; column
+    # operations preserve the "any k rows independent" property.
+    for col in range(k):
+        if v[col, col] == 0:
+            swap = next(c for c in range(col + 1, k) if v[col, c] != 0)
+            v[:, [col, swap]] = v[:, [swap, col]]
+        inv_p = gf.inverse(int(v[col, col]))
+        v[:, col] = gf.multiply(np.full(k + m, inv_p, dtype=np.int64), v[:, col])
+        for other in range(k):
+            if other != col and v[col, other] != 0:
+                factor = int(v[col, other])
+                v[:, other] ^= gf.multiply(
+                    np.full(k + m, factor, dtype=np.int64), v[:, col]
+                ).astype(np.int64)
+    return v.astype(gf.dtype)
+
+
+def cauchy_matrix(k: int, m: int, gf: GF) -> np.ndarray:
+    """An ``m x k`` Cauchy matrix over the field.
+
+    ``C[i, j] = 1 / (x_i + y_j)`` with distinct ``x_i = i`` and
+    ``y_j = m + j``.  Every square submatrix of a Cauchy matrix is
+    invertible, so stacking it under the identity yields an MDS code
+    directly (Cauchy Reed-Solomon).
+    """
+    if k + m > gf.size:
+        raise ValueError(f"k+m = {k + m} exceeds field size {gf.size}; use a larger w")
+    x = np.arange(m, dtype=np.int64)
+    y = np.arange(m, m + k, dtype=np.int64)
+    denom = np.bitwise_xor(x[:, None], y[None, :])
+    return gf.inverse(denom).astype(gf.dtype)

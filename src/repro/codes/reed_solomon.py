@@ -1,0 +1,125 @@
+"""Systematic Reed-Solomon erasure coding (Jerasure's "matrix coding").
+
+An ``RSCode(k, m, w)`` stripes data across ``k`` data devices and ``m``
+coding devices and tolerates any ``m`` simultaneous device erasures
+(an MDS code).  Encoding multiplies the data vector by the bottom ``m``
+rows of a systematic distribution matrix; decoding inverts the ``k x k``
+matrix formed from any ``k`` surviving rows.
+
+This is the general-purpose code of the substrate.  The specific RAID 6
+baselines the paper compares against (EVENODD, RDP) live in their own
+modules; RAID 5 single parity is :mod:`repro.codes.xor_code`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .galois import GF
+from .matrix import invert, matvec_regions, rs_distribution_matrix
+
+__all__ = ["RSCode"]
+
+
+class RSCode:
+    """Systematic Reed-Solomon code over GF(2^w).
+
+    Parameters
+    ----------
+    k:
+        Number of data devices.
+    m:
+        Number of coding devices (erasure tolerance).
+    w:
+        Field word size; ``k + m`` must not exceed ``2**w``.
+
+    Notes
+    -----
+    Regions handed to :meth:`encode` / :meth:`decode` are 1-D uint8
+    buffers of equal length; for ``w == 16`` the byte length must be
+    even (regions are viewed as uint16 words internally).
+    """
+
+    def __init__(self, k: int, m: int, w: int = 8) -> None:
+        if k < 1 or m < 1:
+            raise ValueError(f"need k >= 1 and m >= 1, got k={k}, m={m}")
+        self.k = k
+        self.m = m
+        self.gf = GF(w)
+        if k + m > self.gf.size:
+            raise ValueError(f"k+m = {k + m} exceeds field size 2^{w}")
+        self.distribution = rs_distribution_matrix(k, m, self.gf)
+        #: bottom m rows: the generator of the coding devices
+        self.coding_matrix = self.distribution[k:]
+
+    # ------------------------------------------------------------------
+    def _to_words(self, region: np.ndarray) -> np.ndarray:
+        region = np.ascontiguousarray(region, dtype=np.uint8)
+        if self.gf.w == 16:
+            if region.nbytes % 2:
+                raise ValueError("region byte length must be even for w=16")
+            return region.view(np.uint16)
+        return region
+
+    def _to_bytes(self, words: np.ndarray) -> np.ndarray:
+        if self.gf.w == 16:
+            return words.view(np.uint8)
+        return words.astype(np.uint8, copy=False)
+
+    # ------------------------------------------------------------------
+    def encode(self, data_regions: list[np.ndarray]) -> list[np.ndarray]:
+        """Compute the ``m`` coding regions for ``k`` data regions."""
+        if len(data_regions) != self.k:
+            raise ValueError(f"expected {self.k} data regions, got {len(data_regions)}")
+        words = [self._to_words(r) for r in data_regions]
+        lengths = {w_.nbytes for w_ in words}
+        if len(lengths) != 1:
+            raise ValueError("all data regions must have equal length")
+        coded = matvec_regions(self.coding_matrix, words, self.gf)
+        return [self._to_bytes(c) for c in coded]
+
+    def decode(
+        self,
+        regions: list[np.ndarray | None],
+    ) -> list[np.ndarray]:
+        """Recover all ``k`` data regions from survivors.
+
+        Parameters
+        ----------
+        regions:
+            Length ``k + m`` list ordered data-then-coding; erased
+            devices are ``None``.  At least ``k`` entries must survive.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            The ``k`` data regions, reconstructed where erased.
+        """
+        if len(regions) != self.k + self.m:
+            raise ValueError(f"expected {self.k + self.m} region slots, got {len(regions)}")
+        erased = [i for i, r in enumerate(regions) if r is None]
+        if len(erased) > self.m:
+            raise ValueError(f"{len(erased)} erasures exceed tolerance m={self.m}")
+        surviving = [i for i, r in enumerate(regions) if r is not None]
+
+        # Fast path: all data devices intact.
+        if all(i >= self.k or regions[i] is not None for i in range(self.k + self.m)) and not any(
+            i < self.k for i in erased
+        ):
+            return [np.asarray(regions[i], dtype=np.uint8) for i in range(self.k)]
+
+        rows = surviving[: self.k]
+        submatrix = self.distribution[rows]
+        inverse = invert(submatrix, self.gf)
+        words = [self._to_words(regions[i]) for i in rows]
+        data = matvec_regions(inverse, words, self.gf)
+        return [self._to_bytes(d) for d in data]
+
+    def decode_all(self, regions: list[np.ndarray | None]) -> list[np.ndarray]:
+        """Recover every device (data and coding) from survivors."""
+        data = self.decode(regions)
+        coding = self.encode(data)
+        return data + coding
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RSCode(k={self.k}, m={self.m}, w={self.gf.w})"

@@ -1,0 +1,174 @@
+"""XOR schedules: turning bit matrices into explicit XOR programs.
+
+Jerasure's bit-matrix engine does not multiply at coding time — it
+*schedules*: a coding operation becomes a list of ``(src, dst)`` packet
+XORs executed in order.  Two classic schedulers:
+
+* **dumb** — each output packet is built independently: one copy plus
+  one XOR per remaining set bit of its matrix row;
+* **smart** — outputs may also be *derived from each other*: if a
+  pending row differs from an already-computed one in fewer bits than
+  its own popcount, copy that output and XOR the difference (Jerasure's
+  ``jerasure_smart_bitmatrix_to_schedule``; Plank, Simmerman, Schuman,
+  2008).  Dense generator matrices (Cauchy!) often shrink by 2x or
+  more, which is why CRS papers optimise ones counts.
+
+Schedules are data: :func:`execute_schedule` runs one against packet
+arrays, and :func:`schedule_xor_count` prices it — tested to agree with
+direct encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "XorOp",
+    "Schedule",
+    "dumb_schedule",
+    "smart_schedule",
+    "execute_schedule",
+    "schedule_xor_count",
+]
+
+
+@dataclass(frozen=True)
+class XorOp:
+    """One scheduled operation on packets.
+
+    ``dst op= src`` where packets are addressed ``(device, packet)``;
+    devices ``0..k-1`` are inputs, ``k..k+m-1`` outputs.  ``copy`` makes
+    the op an assignment instead of an XOR (each destination's first
+    touch).
+    """
+
+    src: tuple[int, int]
+    dst: tuple[int, int]
+    copy: bool = False
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An ordered XOR program realising a coding bit matrix."""
+
+    k: int
+    m: int
+    w: int
+    ops: tuple[XorOp, ...]
+
+    @property
+    def xor_count(self) -> int:
+        """Pure XORs (copies are free-ish: a memcpy, not an add)."""
+        return sum(1 for op in self.ops if not op.copy)
+
+
+def _rows_of(bitmatrix: np.ndarray, k: int, m: int, w: int) -> np.ndarray:
+    bitmatrix = np.asarray(bitmatrix, dtype=np.uint8)
+    if bitmatrix.shape != (m * w, k * w):
+        raise ValueError(
+            f"coding bit matrix must be ({m * w}, {k * w}), got {bitmatrix.shape}"
+        )
+    return bitmatrix
+
+
+def dumb_schedule(bitmatrix: np.ndarray, k: int, m: int, w: int) -> Schedule:
+    """One copy + popcount-1 XORs per output packet, no sharing."""
+    bits = _rows_of(bitmatrix, k, m, w)
+    ops: list[XorOp] = []
+    for out_row in range(m * w):
+        dst = (k + out_row // w, out_row % w)
+        first = True
+        for col in np.nonzero(bits[out_row])[0]:
+            src = (int(col) // w, int(col) % w)
+            ops.append(XorOp(src, dst, copy=first))
+            first = False
+        if first:
+            raise ValueError(f"coding row {out_row} is all-zero; matrix is degenerate")
+    return Schedule(k, m, w, tuple(ops))
+
+
+def smart_schedule(bitmatrix: np.ndarray, k: int, m: int, w: int) -> Schedule:
+    """Derive outputs from earlier outputs when the delta is cheaper.
+
+    For each output row (in order), compare its bit row against every
+    already-computed output's row: if some XOR-difference has fewer set
+    bits than the row's own popcount, start from that output (one copy)
+    and apply the difference.  Greedy, like Jerasure's implementation.
+    """
+    bits = _rows_of(bitmatrix, k, m, w)
+    ops: list[XorOp] = []
+    done: list[tuple[int, np.ndarray]] = []  # (output row index, its bit row)
+    for out_row in range(m * w):
+        dst = (k + out_row // w, out_row % w)
+        row = bits[out_row]
+        own_cost = int(row.sum())
+        if own_cost == 0:
+            raise ValueError(f"coding row {out_row} is all-zero; matrix is degenerate")
+        best_base: int | None = None
+        best_delta: np.ndarray | None = None
+        best_cost = own_cost  # copy+ (own_cost - 1) XOR vs copy + delta XORs
+        for base_row, base_bits in done:
+            delta = row ^ base_bits
+            cost = int(delta.sum()) + 1  # the base copy counts like a first bit
+            if cost < best_cost:
+                best_cost = cost
+                best_base = base_row
+                best_delta = delta
+        if best_base is None:
+            first = True
+            for col in np.nonzero(row)[0]:
+                ops.append(XorOp((int(col) // w, int(col) % w), dst, copy=first))
+                first = False
+        else:
+            ops.append(
+                XorOp((k + best_base // w, best_base % w), dst, copy=True)
+            )
+            for col in np.nonzero(best_delta)[0]:
+                ops.append(XorOp((int(col) // w, int(col) % w), dst))
+        done.append((out_row, row))
+    return Schedule(k, m, w, tuple(ops))
+
+
+def execute_schedule(schedule: Schedule, data_regions: list[np.ndarray]) -> list[np.ndarray]:
+    """Run a schedule over ``k`` data regions; returns the ``m`` outputs.
+
+    Regions are byte arrays divisible into ``w`` packets, exactly as in
+    :class:`repro.codes.bitmatrix.BitMatrixCode`.
+    """
+    if len(data_regions) != schedule.k:
+        raise ValueError(f"expected {schedule.k} data regions, got {len(data_regions)}")
+    w = schedule.w
+    packets: dict[tuple[int, int], np.ndarray] = {}
+    psize: int | None = None
+    for dev, region in enumerate(data_regions):
+        region = np.ascontiguousarray(region, dtype=np.uint8)
+        if region.size % w:
+            raise ValueError(
+                f"region of {region.size} bytes not divisible into {w} packets"
+            )
+        view = region.reshape(w, -1)
+        if psize is None:
+            psize = view.shape[1]
+        elif view.shape[1] != psize:
+            raise ValueError("all data regions must have equal length")
+        for p in range(w):
+            packets[(dev, p)] = view[p]
+    for op in schedule.ops:
+        if op.src not in packets:
+            raise ValueError(f"schedule reads {op.src} before it exists")
+        if op.copy:
+            packets[op.dst] = packets[op.src].copy()
+        else:
+            packets[op.dst] = packets[op.dst] ^ packets[op.src]
+    out = []
+    for dev in range(schedule.k, schedule.k + schedule.m):
+        cols = [packets[(dev, p)] for p in range(w)]
+        out.append(np.concatenate(cols))
+    return out
+
+
+def schedule_xor_count(schedule: Schedule) -> int:
+    """Module-level alias for :attr:`Schedule.xor_count`."""
+    return schedule.xor_count

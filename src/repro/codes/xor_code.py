@@ -1,0 +1,49 @@
+"""Single-parity XOR coding — the RAID 5 / mirror-with-parity kernel.
+
+The parity disk in the paper's mirror-with-parity architecture stores
+``c_j = XOR_i a[i, j]`` (the XOR sum across a stripe row).  This module
+implements that computation on real byte buffers, plus the single-erasure
+reconstruction it enables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xor_fold", "parity_region", "recover_from_parity", "verify_parity"]
+
+
+def xor_fold(regions) -> np.ndarray:
+    """XOR-fold an iterable of equal-length uint8 regions into one region."""
+    regions = list(regions)
+    if not regions:
+        raise ValueError("xor_fold requires at least one region")
+    out = np.array(regions[0], dtype=np.uint8, copy=True)
+    for r in regions[1:]:
+        r = np.asarray(r, dtype=np.uint8)
+        if r.shape != out.shape:
+            raise ValueError(f"region shape mismatch: {r.shape} vs {out.shape}")
+        np.bitwise_xor(out, r, out=out)
+    return out
+
+
+def parity_region(data_regions) -> np.ndarray:
+    """The parity region for a stripe row (alias of :func:`xor_fold`)."""
+    return xor_fold(data_regions)
+
+
+def recover_from_parity(surviving_regions, parity: np.ndarray) -> np.ndarray:
+    """Recover the single missing data region of a row.
+
+    Over GF(2), the lost region is the XOR of the parity with every
+    surviving region: ``lost = parity XOR (XOR_i survivors_i)``.
+    """
+    survivors = list(surviving_regions)
+    if survivors:
+        return xor_fold([parity, *survivors])
+    return np.array(parity, dtype=np.uint8, copy=True)
+
+
+def verify_parity(data_regions, parity: np.ndarray) -> bool:
+    """Whether ``parity`` equals the XOR of ``data_regions``."""
+    return bool(np.array_equal(parity_region(data_regions), np.asarray(parity, dtype=np.uint8)))

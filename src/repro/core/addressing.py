@@ -1,0 +1,106 @@
+"""Logical address space: user byte offsets to stripe elements and back.
+
+The paper works in element coordinates; a real volume exposes a flat
+byte range.  :class:`LogicalAddressSpace` defines the mapping used
+throughout the harness: user data is laid out **row-major across the
+data array, stripe by stripe** (element ``e`` of stripe ``s`` sits at
+data disk ``e mod n``, row ``e div n``), which is exactly the order
+large writes proceed in (§VI-C) and the order the workload generator's
+"random large writes" use.
+
+It also provides range splitting: a user extent becomes per-stripe
+element runs, each of which is one
+:class:`~repro.workloads.generator.WriteOp` for the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.generator import WriteOp
+
+__all__ = ["LogicalAddressSpace"]
+
+
+@dataclass(frozen=True)
+class LogicalAddressSpace:
+    """Byte-addressable view over a mirror-family volume.
+
+    Parameters
+    ----------
+    n:
+        Data disks (stripe width).
+    n_stripes:
+        Stripes in the volume.
+    element_size:
+        Bytes per element.
+    """
+
+    n: int
+    n_stripes: int
+    element_size: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.n_stripes < 1 or self.element_size < 1:
+            raise ValueError(
+                f"invalid address space: n={self.n}, stripes={self.n_stripes}, "
+                f"element={self.element_size}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def elements_per_stripe(self) -> int:
+        return self.n * self.n
+
+    @property
+    def capacity_bytes(self) -> int:
+        """User-visible bytes (data elements only — redundancy excluded)."""
+        return self.n_stripes * self.elements_per_stripe * self.element_size
+
+    # ------------------------------------------------------------------
+    def locate(self, offset: int) -> tuple[int, int, int, int]:
+        """``offset -> (stripe, data disk i, row j, byte within element)``."""
+        if not 0 <= offset < self.capacity_bytes:
+            raise ValueError(
+                f"offset {offset} outside volume of {self.capacity_bytes} bytes"
+            )
+        element_index, within = divmod(offset, self.element_size)
+        stripe, e = divmod(element_index, self.elements_per_stripe)
+        j, i = divmod(e, self.n)
+        return stripe, i, j, within
+
+    def offset_of(self, stripe: int, i: int, j: int) -> int:
+        """First byte of data element ``a[i, j]`` of ``stripe``."""
+        if not (0 <= stripe < self.n_stripes and 0 <= i < self.n and 0 <= j < self.n):
+            raise ValueError(f"cell (stripe={stripe}, i={i}, j={j}) out of range")
+        e = j * self.n + i
+        return (stripe * self.elements_per_stripe + e) * self.element_size
+
+    # ------------------------------------------------------------------
+    def extent_to_ops(self, offset: int, length: int) -> list[WriteOp]:
+        """Split a user extent into per-stripe element-aligned write ops.
+
+        Partial elements at the edges still dirty their whole element
+        (element-granular redundancy updates — the paper's model).
+        """
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        if offset < 0 or offset + length > self.capacity_bytes:
+            raise ValueError("extent outside the volume")
+        first = offset // self.element_size
+        last = (offset + length - 1) // self.element_size
+        ops: list[WriteOp] = []
+        cells: list[tuple[int, int]] = []
+        current_stripe: int | None = None
+        for element_index in range(first, last + 1):
+            stripe, e = divmod(element_index, self.elements_per_stripe)
+            j, i = divmod(e, self.n)
+            if current_stripe is None:
+                current_stripe = stripe
+            if stripe != current_stripe:
+                ops.append(WriteOp(current_stripe, tuple(cells)))
+                cells = []
+                current_stripe = stripe
+            cells.append((i, j))
+        ops.append(WriteOp(current_stripe, tuple(cells)))
+        return ops

@@ -1,0 +1,22 @@
+"""Exceptions shared across the reproduction."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "UnrecoverableFailureError", "LayoutError"]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class UnrecoverableFailureError(ReproError):
+    """The failure set exceeds the architecture's fault tolerance.
+
+    E.g. a data disk and its verbatim replica in the traditional mirror
+    method without parity, or three simultaneous failures in a
+    two-fault-tolerant architecture.
+    """
+
+
+class LayoutError(ReproError):
+    """A layout was constructed or queried inconsistently."""

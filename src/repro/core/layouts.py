@@ -1,0 +1,823 @@
+"""RAID architectures as *layouts*: content maps, write plans, recovery plans.
+
+A layout fixes, for one stripe, (1) which element lives where, (2) what
+must be written to service a logical write, and (3) how lost elements
+are recovered after disk failures.  All the architectures the paper
+discusses are here:
+
+========================================  =======================================
+Class                                     Paper section
+========================================  =======================================
+:class:`MirrorLayout` (identity arr.)     §II-B  traditional mirror method
+:class:`MirrorLayout` (shifted arr.)      §IV    shifted mirror method
+:class:`MirrorParityLayout` (identity)    §II-C1 mirror method with parity
+:class:`MirrorParityLayout` (shifted)     §V     shifted mirror method with parity
+:class:`ThreeMirrorLayout`                §VIII  future-work three-mirror extension
+:class:`RAID5Layout`                      §II-C  RAID 5 baseline
+:class:`RAID6Layout`                      §II-C2 RAID 6 baseline (EVENODD / RDP)
+========================================  =======================================
+
+Global disk numbering is data array, mirror array(s), then parity
+disk(s); element rows are per-disk indices within one stripe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codes.evenodd import smallest_prime_at_least
+from .arrangement import Arrangement, IdentityArrangement, ShiftedArrangement
+from .errors import LayoutError, UnrecoverableFailureError
+from .reconstruction import ReconstructionPlan, RecoveryMethod
+from .stripe import ArrayKind, StripeGeometry
+from .writes import WritePlan
+
+__all__ = [
+    "Content",
+    "Layout",
+    "MirrorLayout",
+    "MirrorParityLayout",
+    "ThreeMirrorLayout",
+    "RAID5Layout",
+    "RAID6Layout",
+    "XCodeLayout",
+    "traditional_mirror",
+    "shifted_mirror",
+    "traditional_mirror_parity",
+    "shifted_mirror_parity",
+]
+
+
+@dataclass(frozen=True)
+class Content:
+    """What one physical element stores.
+
+    ``kind`` is ``"data"`` (original data element ``a[i, j]``),
+    ``"replica"`` (mirror copy of ``a[i, j]``), ``"parity"`` (XOR of
+    data row ``j``) or ``"q_parity"`` (RAID 6 diagonal ``j``).
+    For data/replica, ``i``/``j`` are the *data-array* coordinates.
+    """
+
+    kind: str
+    i: int
+    j: int
+
+
+class Layout:
+    """Base class; subclasses fill in the architecture specifics.
+
+    Attributes
+    ----------
+    n:
+        Number of data disks.
+    rows:
+        Elements per disk per stripe.
+    n_disks:
+        Total disks in the architecture.
+    fault_tolerance:
+        Number of arbitrary simultaneous disk failures survived.
+    """
+
+    name: str = "layout"
+    n: int
+    rows: int
+    n_disks: int
+    fault_tolerance: int
+
+    # -- content ------------------------------------------------------
+    def content(self, disk: int, row: int) -> Content:
+        """What the element at ``(global disk, row)`` stores."""
+        raise NotImplementedError
+
+    def data_cell(self, i: int, j: int) -> tuple[int, int]:
+        """Physical ``(disk, row)`` of data element ``a[i, j]``."""
+        raise NotImplementedError
+
+    def replica_cells(self, i: int, j: int) -> list[tuple[int, int]]:
+        """Physical cells holding replicas of ``a[i, j]`` (primary excluded)."""
+        return []
+
+    def storage_efficiency(self) -> float:
+        """Fraction of raw capacity that stores original data."""
+        raise NotImplementedError
+
+    # -- writes --------------------------------------------------------
+    def write_plan(self, elements, strategy: str = "rmw") -> WritePlan:
+        """Plan a logical write of the given data elements ``(i, j)``."""
+        raise NotImplementedError
+
+    def large_write_plan(self, j: int, strategy: str = "rmw") -> WritePlan:
+        """Plan a full-row write of data row ``j``."""
+        return self.write_plan([(i, j) for i in range(self.n)], strategy)
+
+    # -- reconstruction -------------------------------------------------
+    def reconstruction_plan(self, failed_disks) -> ReconstructionPlan:
+        """Plan recovery of every element on the failed disks."""
+        raise NotImplementedError
+
+    def _normalize_failed(self, failed_disks) -> tuple[int, ...]:
+        failed = tuple(sorted(set(failed_disks)))
+        for f in failed:
+            if not 0 <= f < self.n_disks:
+                raise LayoutError(f"disk {f} outside architecture of {self.n_disks} disks")
+        if len(failed) > self.fault_tolerance:
+            raise UnrecoverableFailureError(
+                f"{self.name}: {len(failed)} failures exceed tolerance "
+                f"{self.fault_tolerance}"
+            )
+        return failed
+
+    def all_failure_sets(self, n_failed: int) -> list[tuple[int, ...]]:
+        """Every combination of ``n_failed`` distinct disks."""
+        from itertools import combinations
+
+        return [tuple(c) for c in combinations(range(self.n_disks), n_failed)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n}, name={self.name!r})"
+
+
+# ======================================================================
+# Mirror family
+# ======================================================================
+
+
+class MirrorLayout(Layout):
+    """The mirror method (RAID 1 across arrays) under any arrangement.
+
+    Disks ``0..n-1`` are the data array, ``n..2n-1`` the mirror array.
+    With the identity arrangement this is the paper's traditional
+    mirror method; with the shifted arrangement, the shifted mirror
+    method of §IV.
+    """
+
+    fault_tolerance = 1
+
+    def __init__(self, n: int, arrangement: Arrangement | None = None) -> None:
+        self.arrangement = arrangement if arrangement is not None else IdentityArrangement(n)
+        if self.arrangement.n != n:
+            raise LayoutError(f"arrangement is for n={self.arrangement.n}, layout for n={n}")
+        self.n = n
+        self.rows = n
+        self.geometry = StripeGeometry(n, n_mirror_arrays=1, has_parity=False)
+        self.n_disks = self.geometry.n_disks
+        shifted = isinstance(self.arrangement, ShiftedArrangement)
+        self.name = "shifted-mirror" if shifted else "mirror"
+
+    # -- content ------------------------------------------------------
+    def content(self, disk: int, row: int) -> Content:
+        array, local = self.geometry.locate_disk(disk)
+        if array is ArrayKind.DATA:
+            return Content("data", local, row)
+        i, j = self.arrangement.data_location(local, row)
+        return Content("replica", i, j)
+
+    def data_cell(self, i: int, j: int) -> tuple[int, int]:
+        return (i, j)
+
+    def mirror_cell(self, i: int, j: int) -> tuple[int, int]:
+        """Physical cell of the replica of ``a[i, j]``."""
+        mi, mj = self.arrangement.mirror_location(i, j)
+        return (self.n + mi, mj)
+
+    def replica_cells(self, i: int, j: int) -> list[tuple[int, int]]:
+        return [self.mirror_cell(i, j)]
+
+    def storage_efficiency(self) -> float:
+        return self.n / (2 * self.n)
+
+    # -- writes --------------------------------------------------------
+    def write_plan(self, elements, strategy: str = "rmw") -> WritePlan:
+        plan = WritePlan()
+        for i, j in elements:
+            disk, row = self.data_cell(i, j)
+            plan.add_write(disk, row)
+            mdisk, mrow = self.mirror_cell(i, j)
+            plan.add_write(mdisk, mrow)
+        return plan
+
+    # -- reconstruction -------------------------------------------------
+    def reconstruction_plan(self, failed_disks) -> ReconstructionPlan:
+        failed = self._normalize_failed(failed_disks)
+        plan = ReconstructionPlan(failed)
+        if not failed:
+            return plan
+        (f,) = failed
+        array, local = self.geometry.locate_disk(f)
+        if array is ArrayKind.DATA:
+            for j in range(self.rows):
+                plan.add_step((f, j), RecoveryMethod.COPY, [self.mirror_cell(local, j)])
+        else:
+            for mj in range(self.rows):
+                i, j = self.arrangement.data_location(local, mj)
+                plan.add_step((f, mj), RecoveryMethod.COPY, [self.data_cell(i, j)])
+        plan.validate(self.n_disks, self.rows)
+        return plan
+
+
+class MirrorParityLayout(Layout):
+    """The mirror method with parity under any arrangement (§II-C1, §V).
+
+    Disks ``0..n-1`` data, ``n..2n-1`` mirror, ``2n`` parity.  The
+    parity element ``c_j`` is the XOR of data row ``j`` exactly as in
+    the original architecture; only the mirror array's arrangement
+    changes between the traditional and shifted variants.
+    """
+
+    fault_tolerance = 2
+
+    def __init__(self, n: int, arrangement: Arrangement | None = None) -> None:
+        if n < 2:
+            raise LayoutError("mirror-with-parity needs n >= 2 to survive double failures")
+        self.arrangement = arrangement if arrangement is not None else IdentityArrangement(n)
+        if self.arrangement.n != n:
+            raise LayoutError(f"arrangement is for n={self.arrangement.n}, layout for n={n}")
+        self.n = n
+        self.rows = n
+        self.geometry = StripeGeometry(n, n_mirror_arrays=1, has_parity=True)
+        self.n_disks = self.geometry.n_disks
+        shifted = isinstance(self.arrangement, ShiftedArrangement)
+        self.name = "shifted-mirror-parity" if shifted else "mirror-parity"
+
+    @property
+    def parity_disk(self) -> int:
+        return 2 * self.n
+
+    # -- content ------------------------------------------------------
+    def content(self, disk: int, row: int) -> Content:
+        array, local = self.geometry.locate_disk(disk)
+        if array is ArrayKind.DATA:
+            return Content("data", local, row)
+        if array is ArrayKind.MIRROR:
+            i, j = self.arrangement.data_location(local, row)
+            return Content("replica", i, j)
+        return Content("parity", -1, row)
+
+    def data_cell(self, i: int, j: int) -> tuple[int, int]:
+        return (i, j)
+
+    def mirror_cell(self, i: int, j: int) -> tuple[int, int]:
+        mi, mj = self.arrangement.mirror_location(i, j)
+        return (self.n + mi, mj)
+
+    def parity_cell(self, j: int) -> tuple[int, int]:
+        return (self.parity_disk, j)
+
+    def replica_cells(self, i: int, j: int) -> list[tuple[int, int]]:
+        return [self.mirror_cell(i, j)]
+
+    def storage_efficiency(self) -> float:
+        return self.n / (2 * self.n + 1)
+
+    # -- writes --------------------------------------------------------
+    def write_plan(self, elements, strategy: str = "rmw") -> WritePlan:
+        if strategy not in ("rmw", "reconstruct"):
+            raise ValueError(f"unknown parity strategy {strategy!r}")
+        plan = WritePlan()
+        by_row: dict[int, set[int]] = {}
+        for i, j in elements:
+            by_row.setdefault(j, set()).add(i)
+        for j, disks in by_row.items():
+            for i in disks:
+                disk, row = self.data_cell(i, j)
+                plan.add_write(disk, row)
+                mdisk, mrow = self.mirror_cell(i, j)
+                plan.add_write(mdisk, mrow)
+            pd, pr = self.parity_cell(j)
+            plan.add_write(pd, pr)
+            if len(disks) == self.n:
+                continue  # full row: parity from new data, no reads
+            if strategy == "rmw":
+                for i in disks:
+                    plan.add_read(*self.data_cell(i, j))
+                plan.add_read(pd, pr)
+            else:  # reconstruct-write
+                for i in range(self.n):
+                    if i not in disks:
+                        plan.add_read(*self.data_cell(i, j))
+        return plan
+
+    # -- reconstruction -------------------------------------------------
+    def reconstruction_plan(self, failed_disks) -> ReconstructionPlan:
+        failed = self._normalize_failed(failed_disks)
+        plan = ReconstructionPlan(failed)
+        failed_set = set(failed)
+        data_failed = [f for f in failed if f < self.n]
+        mirror_failed = [f - self.n for f in failed if self.n <= f < 2 * self.n]
+        parity_failed = self.parity_disk in failed_set
+
+        # Elements of data disk x whose replica sits on a failed mirror
+        # disk are "doubly failed" and need the parity path.
+        doubly: set[tuple[int, int]] = set()
+        for x in data_failed:
+            for j in range(self.rows):
+                mdisk, _ = self.mirror_cell(x, j)
+                if mdisk in failed_set:
+                    doubly.add((x, j))
+
+        # 1) recover data-array columns
+        for x in data_failed:
+            for j in range(self.rows):
+                if (x, j) in doubly:
+                    if parity_failed:
+                        raise UnrecoverableFailureError(
+                            "data element and its replica lost with parity disk failed"
+                        )
+                    sources = [self.data_cell(i, j) for i in range(self.n) if i != x]
+                    sources.append(self.parity_cell(j))
+                    plan.add_step((x, j), RecoveryMethod.XOR, sources)
+                else:
+                    plan.add_step((x, j), RecoveryMethod.COPY, [self.mirror_cell(x, j)])
+
+        # 2) recover mirror-array columns (replicas of data elements)
+        for m in mirror_failed:
+            mdisk = self.n + m
+            for mj in range(self.rows):
+                i, j = self.arrangement.data_location(m, mj)
+                src = self.data_cell(i, j)
+                # if the source data disk also failed, its element was
+                # recovered in step 1 (possibly via parity)
+                plan.add_step((mdisk, mj), RecoveryMethod.COPY, [src])
+
+        # 3) recompute the parity column if it failed
+        if parity_failed:
+            for j in range(self.rows):
+                sources = [self.data_cell(i, j) for i in range(self.n)]
+                plan.add_step(
+                    (self.parity_disk, j), RecoveryMethod.RECOMPUTE, sources
+                )
+        plan.validate(self.n_disks, self.rows)
+        return plan
+
+    def data_recovery_read_accesses(self, failed_disks) -> int:
+        """Read accesses counted the way Table I counts them.
+
+        Table I's ``Num_Read`` covers fetching what is needed to recover
+        the failed *array* elements (the user-visible data and replicas)
+        — the separate full-scan that recomputes a lost parity column is
+        bookkeeping, not data availability, and is excluded there.
+        """
+        failed = self._normalize_failed(failed_disks)
+        plan = ReconstructionPlan(failed)
+        full = self.reconstruction_plan(failed)
+        for step in full.steps:
+            if step.target[0] == self.parity_disk:
+                continue
+            plan.add_step(step.target, step.method, step.sources)
+        return plan.num_read_accesses
+
+
+class ThreeMirrorLayout(Layout):
+    """The three-mirror extension (paper §VIII future work; GFS/Ceph-style).
+
+    Two full mirror arrays give a fault tolerance of two without any
+    parity computation.  The shifted variant uses the paper's
+    arrangement for the first mirror array and its *inverse-shift*
+    twin ``a[i, j] -> (<i - j>_n, i)`` for the second, so that each
+    data disk's replicas are spread over all disks of *both* arrays
+    while the two arrays never co-locate the same pair of elements.
+    """
+
+    fault_tolerance = 2
+
+    def __init__(
+        self,
+        n: int,
+        arrangement1: Arrangement | None = None,
+        arrangement2: Arrangement | None = None,
+    ) -> None:
+        self.arr1 = arrangement1 if arrangement1 is not None else IdentityArrangement(n)
+        self.arr2 = arrangement2 if arrangement2 is not None else IdentityArrangement(n)
+        if self.arr1.n != n or self.arr2.n != n:
+            raise LayoutError("arrangement sizes disagree with layout n")
+        self.n = n
+        self.rows = n
+        self.geometry = StripeGeometry(n, n_mirror_arrays=2, has_parity=False)
+        self.n_disks = self.geometry.n_disks
+        ident = isinstance(self.arr1, IdentityArrangement) and isinstance(
+            self.arr2, IdentityArrangement
+        )
+        self.name = "three-mirror" if ident else "shifted-three-mirror"
+
+    # -- content ------------------------------------------------------
+    def content(self, disk: int, row: int) -> Content:
+        array, local = self.geometry.locate_disk(disk)
+        if array is ArrayKind.DATA:
+            return Content("data", local, row)
+        arr = self.arr1 if array is ArrayKind.MIRROR else self.arr2
+        i, j = arr.data_location(local, row)
+        return Content("replica", i, j)
+
+    def data_cell(self, i: int, j: int) -> tuple[int, int]:
+        return (i, j)
+
+    def mirror_cell(self, i: int, j: int, which: int) -> tuple[int, int]:
+        arr = self.arr1 if which == 0 else self.arr2
+        mi, mj = arr.mirror_location(i, j)
+        return (self.n * (1 + which) + mi, mj)
+
+    def replica_cells(self, i: int, j: int) -> list[tuple[int, int]]:
+        return [self.mirror_cell(i, j, 0), self.mirror_cell(i, j, 1)]
+
+    def storage_efficiency(self) -> float:
+        return 1.0 / 3.0
+
+    # -- writes --------------------------------------------------------
+    def write_plan(self, elements, strategy: str = "rmw") -> WritePlan:
+        plan = WritePlan()
+        for i, j in elements:
+            plan.add_write(*self.data_cell(i, j))
+            plan.add_write(*self.mirror_cell(i, j, 0))
+            plan.add_write(*self.mirror_cell(i, j, 1))
+        return plan
+
+    # -- reconstruction -------------------------------------------------
+    def _copies_of(self, i: int, j: int) -> list[tuple[int, int]]:
+        return [self.data_cell(i, j), self.mirror_cell(i, j, 0), self.mirror_cell(i, j, 1)]
+
+    def reconstruction_plan(self, failed_disks) -> ReconstructionPlan:
+        failed = self._normalize_failed(failed_disks)
+        plan = ReconstructionPlan(failed)
+        failed_set = set(failed)
+        # Greedy source choice: prefer the surviving copy on the disk
+        # with the fewest reads so far, to keep the load balanced.
+        load: dict[int, int] = {}
+        for f in failed:
+            for row in range(self.rows):
+                c = self.content(f, row)
+                copies = [
+                    cell
+                    for cell in self._copies_of(c.i, c.j)
+                    if cell[0] not in failed_set
+                ]
+                if not copies:
+                    raise UnrecoverableFailureError(
+                        f"all three copies of a[{c.i},{c.j}] lost"
+                    )
+                already = {s.sources[0] for s in plan.steps}
+                fresh = [cell for cell in copies if cell in already] or copies
+                src = min(fresh, key=lambda cell: load.get(cell[0], 0))
+                if src not in already:
+                    load[src[0]] = load.get(src[0], 0) + 1
+                plan.add_step((f, row), RecoveryMethod.COPY, [src])
+        plan.validate(self.n_disks, self.rows)
+        return plan
+
+
+# ======================================================================
+# Parity baselines
+# ======================================================================
+
+
+class RAID5Layout(Layout):
+    """RAID 5 with a dedicated parity disk, one stripe of ``n`` rows.
+
+    (Rotation of the parity disk across stripes is handled at the stack
+    level, as the paper notes; within one stripe the parity column is
+    fixed.)
+    """
+
+    fault_tolerance = 1
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise LayoutError("RAID 5 needs at least two data disks")
+        self.n = n
+        self.rows = n
+        self.n_disks = n + 1
+        self.name = "raid5"
+
+    @property
+    def parity_disk(self) -> int:
+        return self.n
+
+    def content(self, disk: int, row: int) -> Content:
+        if disk < self.n:
+            return Content("data", disk, row)
+        return Content("parity", -1, row)
+
+    def data_cell(self, i: int, j: int) -> tuple[int, int]:
+        return (i, j)
+
+    def parity_cell(self, j: int) -> tuple[int, int]:
+        return (self.parity_disk, j)
+
+    def storage_efficiency(self) -> float:
+        return self.n / (self.n + 1)
+
+    def write_plan(self, elements, strategy: str = "rmw") -> WritePlan:
+        plan = WritePlan()
+        by_row: dict[int, set[int]] = {}
+        for i, j in elements:
+            by_row.setdefault(j, set()).add(i)
+        for j, disks in by_row.items():
+            for i in disks:
+                plan.add_write(i, j)
+            plan.add_write(*self.parity_cell(j))
+            if len(disks) == self.n:
+                continue
+            if strategy == "rmw":
+                for i in disks:
+                    plan.add_read(i, j)
+                plan.add_read(*self.parity_cell(j))
+            else:
+                for i in range(self.n):
+                    if i not in disks:
+                        plan.add_read(i, j)
+        return plan
+
+    def reconstruction_plan(self, failed_disks) -> ReconstructionPlan:
+        failed = self._normalize_failed(failed_disks)
+        plan = ReconstructionPlan(failed)
+        if not failed:
+            return plan
+        (f,) = failed
+        for j in range(self.rows):
+            if f == self.parity_disk:
+                sources = [self.data_cell(i, j) for i in range(self.n)]
+                plan.add_step((f, j), RecoveryMethod.RECOMPUTE, sources)
+            else:
+                sources = [self.data_cell(i, j) for i in range(self.n) if i != f]
+                sources.append(self.parity_cell(j))
+                plan.add_step((f, j), RecoveryMethod.XOR, sources)
+        plan.validate(self.n_disks, self.rows)
+        return plan
+
+
+class RAID6Layout(Layout):
+    """RAID 6 backed by EVENODD or RDP with the "shorten" method (§II-C2).
+
+    ``n`` data disks plus P and Q parity disks.  The stripe has
+    ``p - 1`` rows where ``p`` is the code's prime, chosen as the
+    smallest prime admitting ``n`` data columns — exactly the shorten
+    construction the paper's Fig. 7 references for its RAID 6 curve.
+
+    In (nearly) every failure situation all intact elements must be
+    read, which is why its reconstruction availability loses so badly
+    to the shifted mirror methods.
+    """
+
+    fault_tolerance = 2
+
+    def __init__(self, n: int, code: str = "rdp") -> None:
+        if n < 2:
+            raise LayoutError("RAID 6 needs at least two data disks")
+        if code not in ("evenodd", "rdp"):
+            raise ValueError(f"unknown RAID 6 code {code!r}")
+        self.n = n
+        self.code_name = code
+        if code == "evenodd":
+            self.p = smallest_prime_at_least(max(n, 3))
+        else:  # RDP admits p - 1 data columns
+            self.p = smallest_prime_at_least(max(n + 1, 3))
+        self.rows = self.p - 1
+        self.n_disks = n + 2
+        self.name = f"raid6-{code}"
+
+    @property
+    def p_disk(self) -> int:
+        return self.n
+
+    @property
+    def q_disk(self) -> int:
+        return self.n + 1
+
+    def content(self, disk: int, row: int) -> Content:
+        if disk < self.n:
+            return Content("data", disk, row)
+        if disk == self.p_disk:
+            return Content("parity", -1, row)
+        return Content("q_parity", -1, row)
+
+    def data_cell(self, i: int, j: int) -> tuple[int, int]:
+        return (i, j)
+
+    def storage_efficiency(self) -> float:
+        return self.n / (self.n + 2)
+
+    def q_rows_updated(self, i: int, j: int) -> list[int]:
+        """Q elements a single-element modification of ``a[i, j]`` dirties.
+
+        This is where RAID 6 loses update optimality (§II-C2):
+
+        * **EVENODD** — the element's own diagonal ``<i + j>_p`` gets a
+          new Q, *unless* the element lies on the special diagonal
+          ``p - 1``, in which case the adjuster S changes and **every**
+          Q element must be rewritten;
+        * **RDP** — diagonals run over data *and* row parity, so the
+          update dirties the element's diagonal ``<i + j>_p`` and, via
+          the changed row parity ``P_j`` (which sits in column
+          ``p - 1``), the diagonal ``<j - 1>_p`` as well (each skipped
+          if it is the parity-less diagonal ``p - 1``).
+        """
+        p = self.p
+        own = (i + j) % p
+        if self.code_name == "evenodd":
+            if own == p - 1:
+                return list(range(self.rows))  # the adjuster cascade
+            return [own]
+        dirty = {own, (j + p - 1) % p}
+        return sorted(d for d in dirty if d != p - 1)
+
+    def write_plan(self, elements, strategy: str = "rmw") -> WritePlan:
+        """Writes touch both parity disks; sub-row writes read first.
+
+        The RAID 6 codes are *not* update-optimal (§II-C2): see
+        :meth:`q_rows_updated` for the per-code Q fan-out.  RMW reads
+        the old data elements plus the affected old parity elements.
+        """
+        plan = WritePlan()
+        by_row: dict[int, set[int]] = {}
+        for i, j in elements:
+            if not 0 <= j < self.rows:
+                raise LayoutError(f"row {j} outside stripe of {self.rows} rows")
+            by_row.setdefault(j, set()).add(i)
+        full_stripe = all(
+            len(by_row.get(j, ())) == self.n for j in range(self.rows)
+        )
+        for j, disks in by_row.items():
+            for i in disks:
+                plan.add_write(i, j)
+            plan.add_write(self.p_disk, j)
+            for i in disks:
+                for d in self.q_rows_updated(i, j):
+                    plan.add_write(self.q_disk, d)
+            if full_stripe:
+                continue
+            if strategy == "rmw":
+                for i in disks:
+                    plan.add_read(i, j)
+                plan.add_read(self.p_disk, j)
+                for i in disks:
+                    for d in self.q_rows_updated(i, j):
+                        plan.add_read(self.q_disk, d)
+            else:
+                for i in range(self.n):
+                    if i not in disks:
+                        plan.add_read(i, j)
+        return plan
+
+    def reconstruction_plan(self, failed_disks) -> ReconstructionPlan:
+        failed = self._normalize_failed(failed_disks)
+        plan = ReconstructionPlan(failed)
+        if not failed:
+            return plan
+        failed_set = set(failed)
+        single_data = len(failed) == 1 and failed[0] < self.n
+        only_q = failed == (self.q_disk,)
+        only_p = failed == (self.p_disk,)
+        if single_data:
+            # row recovery via P, the RAID 5 path
+            f = failed[0]
+            for j in range(self.rows):
+                sources = [self.data_cell(i, j) for i in range(self.n) if i != f]
+                sources.append((self.p_disk, j))
+                plan.add_step((f, j), RecoveryMethod.XOR, sources)
+        elif only_p or only_q:
+            # parity regeneration runs the encoder over all the data
+            disk = self.p_disk if only_p else self.q_disk
+            sources = [
+                self.data_cell(i, j) for i in range(self.n) for j in range(self.rows)
+            ]
+            for j in range(self.rows):
+                plan.add_step((disk, j), RecoveryMethod.CODE, sources)
+        else:
+            # double failure: the generic decode reads *every* intact
+            # element — the paper's core criticism of RAID 6.
+            intact_cells = [
+                (d, r)
+                for d in range(self.n_disks)
+                if d not in failed_set
+                for r in range(self.rows)
+            ]
+            for f in failed:
+                for r in range(self.rows):
+                    plan.add_step((f, r), RecoveryMethod.CODE, intact_cells)
+        plan.validate(self.n_disks, self.rows)
+        return plan
+
+
+class XCodeLayout(Layout):
+    """Vertical RAID 6 via X-Code (Xu & Bruck) — the §II-C2 counterpoint.
+
+    Exactly ``p`` disks (``p`` prime >= 5), each holding ``p`` elements
+    per stripe: rows ``0 .. p-3`` are data, row ``p-2`` diagonal parity
+    and row ``p-1`` anti-diagonal parity.  Data coordinates follow the
+    usual convention: ``a[i, j]`` is data disk ``i``'s ``j``-th data
+    element (so ``j < p - 2``).
+
+    Two contrasts with the horizontal codes matter here:
+
+    * a single-element write updates exactly 3 elements on 3 distinct
+      disks — the theoretical optimum the paper says horizontal RAID 6
+      cannot reach;
+    * parity lives on *every* disk, so any failure loses parity too and
+      every reconstruction is a full-stripe decode, like RAID 6 — and
+      the geometry cannot be shortened (no virtual zero columns), so
+      ``n == p`` always.
+    """
+
+    fault_tolerance = 2
+
+    def __init__(self, p: int) -> None:
+        from ..codes.xcode import XCode
+
+        self.code = XCode(p)  # validates primality and p >= 5
+        self.p = p
+        self.n = p
+        self.rows = p
+        self.data_rows = p - 2
+        self.n_disks = p
+        self.name = "xcode"
+
+    # -- content ------------------------------------------------------
+    def content(self, disk: int, row: int) -> Content:
+        if row < self.data_rows:
+            return Content("data", disk, row)
+        if row == self.p - 2:
+            return Content("parity", -1, disk)
+        return Content("q_parity", -1, disk)
+
+    def data_cell(self, i: int, j: int) -> tuple[int, int]:
+        if not 0 <= j < self.data_rows:
+            raise LayoutError(f"data row {j} outside {self.data_rows} data rows")
+        return (i, j)
+
+    def parity_cells_of(self, i: int, j: int) -> list[tuple[int, int]]:
+        """The diagonal and anti-diagonal parity cells covering ``a[i, j]``."""
+        self.data_cell(i, j)  # bounds check
+        diag_col = (i - j - 2) % self.p
+        anti_col = (i + j + 2) % self.p
+        return [(diag_col, self.p - 2), (anti_col, self.p - 1)]
+
+    def storage_efficiency(self) -> float:
+        return (self.p - 2) / self.p
+
+    # -- writes --------------------------------------------------------
+    def write_plan(self, elements, strategy: str = "rmw") -> WritePlan:
+        """Update-optimal: element + two parity cells, all on distinct disks."""
+        plan = WritePlan()
+        for i, j in elements:
+            plan.add_write(*self.data_cell(i, j))
+            for cell in self.parity_cells_of(i, j):
+                plan.add_write(*cell)
+            if strategy == "rmw":
+                plan.add_read(*self.data_cell(i, j))
+                for cell in self.parity_cells_of(i, j):
+                    plan.add_read(*cell)
+        return plan
+
+    def large_write_plan(self, j: int, strategy: str = "rmw") -> WritePlan:
+        """A full data row: n data cells + their 2n parity cells."""
+        plan = WritePlan()
+        for i in range(self.n):
+            plan.add_write(*self.data_cell(i, j))
+            for cell in self.parity_cells_of(i, j):
+                plan.add_write(*cell)
+        return plan
+
+    # -- reconstruction -------------------------------------------------
+    def reconstruction_plan(self, failed_disks) -> ReconstructionPlan:
+        failed = self._normalize_failed(failed_disks)
+        plan = ReconstructionPlan(failed)
+        if not failed:
+            return plan
+        failed_set = set(failed)
+        # vertical code: every reconstruction is a stripe decode over
+        # all intact columns (parity is lost along with data)
+        intact_cells = [
+            (d, r)
+            for d in range(self.n_disks)
+            if d not in failed_set
+            for r in range(self.rows)
+        ]
+        for f in failed:
+            for r in range(self.rows):
+                plan.add_step((f, r), RecoveryMethod.CODE, intact_cells)
+        plan.validate(self.n_disks, self.rows)
+        return plan
+
+
+# ======================================================================
+# Convenience constructors (the paper's four protagonists)
+# ======================================================================
+
+
+def traditional_mirror(n: int) -> MirrorLayout:
+    """The traditional mirror method (§II-B)."""
+    return MirrorLayout(n, IdentityArrangement(n))
+
+
+def shifted_mirror(n: int) -> MirrorLayout:
+    """The shifted mirror method (§IV)."""
+    return MirrorLayout(n, ShiftedArrangement(n))
+
+
+def traditional_mirror_parity(n: int) -> MirrorParityLayout:
+    """The traditional mirror method with parity (§II-C1)."""
+    return MirrorParityLayout(n, IdentityArrangement(n))
+
+
+def shifted_mirror_parity(n: int) -> MirrorParityLayout:
+    """The shifted mirror method with parity (§V)."""
+    return MirrorParityLayout(n, ShiftedArrangement(n))

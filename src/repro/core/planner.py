@@ -1,0 +1,46 @@
+"""Packing element reads into synchronous parallel rounds (§III).
+
+Under the paper's parallel-I/O model, one *read access* lets every disk
+deliver at most one element.  Given a :class:`~repro.core.reconstruction.
+ReconstructionPlan` (or any ``disk -> rows`` read map), the planner
+emits the explicit rounds — and, by construction, the number of rounds
+equals the plan's ``num_read_accesses`` (the max per-disk queue), which
+the test suite checks as an invariant.
+"""
+
+from __future__ import annotations
+
+from .reconstruction import ReconstructionPlan
+from .writes import WritePlan
+
+__all__ = ["schedule_read_rounds", "schedule_write_rounds", "schedule_rounds"]
+
+
+def schedule_rounds(per_disk: dict[int, list[int]]) -> list[list[tuple[int, int]]]:
+    """Pack ``disk -> rows`` operations into parallel rounds.
+
+    Round ``r`` contains the ``r``-th pending operation of every disk
+    that still has one; each round therefore touches each disk at most
+    once, and the number of rounds is exactly the maximum queue length.
+    """
+    queues = {disk: list(rows) for disk, rows in per_disk.items() if rows}
+    rounds: list[list[tuple[int, int]]] = []
+    depth = max((len(rows) for rows in queues.values()), default=0)
+    for r in range(depth):
+        batch = [
+            (disk, rows[r])
+            for disk, rows in sorted(queues.items())
+            if r < len(rows)
+        ]
+        rounds.append(batch)
+    return rounds
+
+
+def schedule_read_rounds(plan: ReconstructionPlan) -> list[list[tuple[int, int]]]:
+    """The read rounds realising a reconstruction plan."""
+    return schedule_rounds(plan.reads)
+
+
+def schedule_write_rounds(plan: WritePlan) -> list[list[tuple[int, int]]]:
+    """The write rounds realising a write plan (reads are separate)."""
+    return schedule_rounds(plan.writes)

@@ -1,0 +1,133 @@
+"""Element addressing and stripe geometry (paper §II-A terms).
+
+The paper reasons about one *stripe* at a time: an ``n x n`` block of
+data elements, its replica block in the mirror array, and (for the
+parity variants) a column of parity elements.  This module pins down
+the coordinate system shared by every other core module:
+
+* disks within one array are numbered ``0 .. n-1`` left to right;
+* elements within one disk are numbered ``0 .. n-1`` top to bottom;
+* arrays are named by :class:`ArrayKind` (data / mirror / second
+  mirror / parity);
+* a *global disk id* enumerates every disk of the architecture, data
+  array first, then mirror array(s), then the parity disk.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ArrayKind", "ElementAddr", "StripeGeometry"]
+
+
+class ArrayKind(str, enum.Enum):
+    """Which disk array a disk or element belongs to."""
+
+    DATA = "data"
+    MIRROR = "mirror"
+    MIRROR2 = "mirror2"  # the three-mirror extension's second mirror array
+    PARITY = "parity"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class ElementAddr:
+    """Address of one element: ``(array, disk-within-array, row)``.
+
+    For the parity disk, ``disk`` is always 0 and ``row`` indexes the
+    parity elements ``c_0 .. c_{n-1}``.
+    """
+
+    array: ArrayKind
+    disk: int
+    row: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.array.value}[{self.disk},{self.row}]"
+
+
+@dataclass(frozen=True)
+class StripeGeometry:
+    """Shape of one stripe for a mirror-family architecture.
+
+    Parameters
+    ----------
+    n:
+        Disks per array; also rows per stripe (the paper picks ``n``
+        rows so Property 1 can distribute one replica per mirror disk).
+    n_mirror_arrays:
+        1 for the mirror methods, 2 for the three-mirror extension.
+    has_parity:
+        Whether a parity disk is part of the architecture.
+    """
+
+    n: int
+    n_mirror_arrays: int = 1
+    has_parity: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"need n >= 1, got {self.n}")
+        if self.n_mirror_arrays not in (1, 2):
+            raise ValueError(f"n_mirror_arrays must be 1 or 2, got {self.n_mirror_arrays}")
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return self.n
+
+    @property
+    def n_disks(self) -> int:
+        """Total disks in the architecture."""
+        return self.n * (1 + self.n_mirror_arrays) + (1 if self.has_parity else 0)
+
+    @property
+    def data_elements_per_stripe(self) -> int:
+        return self.n * self.n
+
+    # ------------------------------------------------------------------
+    # global disk ids: data, mirror, (mirror2,) parity
+    # ------------------------------------------------------------------
+    def global_disk(self, array: ArrayKind, disk: int) -> int:
+        """Global id of ``disk`` within ``array``."""
+        if array is ArrayKind.PARITY:
+            if not self.has_parity:
+                raise ValueError("this geometry has no parity disk")
+            if disk != 0:
+                raise IndexError("the parity disk id within its array is 0")
+            return self.n * (1 + self.n_mirror_arrays)
+        if not 0 <= disk < self.n:
+            raise IndexError(f"disk {disk} outside array of {self.n} disks")
+        if array is ArrayKind.DATA:
+            return disk
+        if array is ArrayKind.MIRROR:
+            return self.n + disk
+        if array is ArrayKind.MIRROR2:
+            if self.n_mirror_arrays < 2:
+                raise ValueError("this geometry has a single mirror array")
+            return 2 * self.n + disk
+        raise ValueError(f"unknown array kind {array!r}")
+
+    def locate_disk(self, global_disk: int) -> tuple[ArrayKind, int]:
+        """Inverse of :meth:`global_disk`."""
+        if not 0 <= global_disk < self.n_disks:
+            raise IndexError(f"global disk {global_disk} outside {self.n_disks} disks")
+        if global_disk < self.n:
+            return ArrayKind.DATA, global_disk
+        if global_disk < 2 * self.n:
+            return ArrayKind.MIRROR, global_disk - self.n
+        if self.n_mirror_arrays == 2 and global_disk < 3 * self.n:
+            return ArrayKind.MIRROR2, global_disk - 2 * self.n
+        return ArrayKind.PARITY, 0
+
+    def all_disks(self) -> list[int]:
+        """Every global disk id of the architecture."""
+        return list(range(self.n_disks))
+
+    def elements_on_disk(self, global_disk: int) -> list[ElementAddr]:
+        """All element addresses stored on one physical column."""
+        array, disk = self.locate_disk(global_disk)
+        return [ElementAddr(array, disk, row) for row in range(self.rows)]

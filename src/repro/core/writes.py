@@ -1,0 +1,94 @@
+"""Write plans: small/large writes and parity-update strategies (§VI-C, §VII-B).
+
+A :class:`WritePlan` lists, per global disk, the element rows that must
+be written (and, for parity architectures, read first).  As with
+reconstruction, the parallel-I/O cost of a plan is the *maximum* number
+of element operations on any single disk:
+
+* the traditional and shifted mirror methods write a small write's two
+  (or three, with parity) target elements on distinct disks — one write
+  access, the theoretical optimum;
+* a large write of a full data row lands on ``n`` distinct data disks,
+  ``n`` distinct mirror disks (Property 3!) and the parity disk — again
+  one access.  Arrangements violating Property 3 need more.
+
+Parity updates for partial-row writes use one of the two classic
+strategies (§VII-B):
+
+* ``rmw`` (read-modify-write) — read the old data elements and the old
+  parity, then ``new_parity = old_parity XOR old_data XOR new_data``;
+* ``reconstruct`` (reconstruct-write) — read the row elements *not*
+  being written and recompute parity from scratch.
+
+Full-row writes never read: parity is computed from the new data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["WritePlan", "ParityStrategy"]
+
+ParityStrategy = str  # "rmw" | "reconstruct"
+
+
+@dataclass
+class WritePlan:
+    """Per-disk element reads and writes realising one logical write.
+
+    Attributes
+    ----------
+    writes:
+        ``disk -> sorted rows`` to write.
+    reads:
+        ``disk -> sorted rows`` that must be read *before* the writes
+        (parity-update inputs).  Empty for the plain mirror method.
+    """
+
+    writes: dict[int, list[int]] = field(default_factory=dict)
+    reads: dict[int, list[int]] = field(default_factory=dict)
+
+    def add_write(self, disk: int, row: int) -> None:
+        rows = self.writes.setdefault(disk, [])
+        if row not in rows:
+            rows.append(row)
+            rows.sort()
+
+    def add_read(self, disk: int, row: int) -> None:
+        rows = self.reads.setdefault(disk, [])
+        if row not in rows:
+            rows.append(row)
+            rows.sort()
+
+    @property
+    def num_write_accesses(self) -> int:
+        """Max element writes on one disk == parallel write accesses."""
+        if not self.writes:
+            return 0
+        return max(len(rows) for rows in self.writes.values())
+
+    @property
+    def num_read_accesses(self) -> int:
+        if not self.reads:
+            return 0
+        return max(len(rows) for rows in self.reads.values())
+
+    @property
+    def total_elements_written(self) -> int:
+        return sum(len(rows) for rows in self.writes.values())
+
+    @property
+    def total_elements_read(self) -> int:
+        return sum(len(rows) for rows in self.reads.values())
+
+    def merge(self, other: "WritePlan") -> "WritePlan":
+        """Union of two plans (e.g. a multi-row logical write)."""
+        out = WritePlan()
+        for plan in (self, other):
+            for disk, rows in plan.writes.items():
+                for r in rows:
+                    out.add_write(disk, r)
+            for disk, rows in plan.reads.items():
+                for r in rows:
+                    out.add_read(disk, r)
+        return out

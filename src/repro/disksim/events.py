@@ -1,0 +1,157 @@
+"""Discrete-event engine driving a set of independent disk servers.
+
+Each disk is a single server with its own scheduler queue.  The engine
+advances a global clock through request-completion events; completion
+callbacks may submit further requests (this is how the RAID layer
+implements read-before-write dependencies and windowed reconstruction
+pipelines).
+
+The engine is deterministic: ties are broken by event sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from .disk import DiskModel, DiskParameters
+from .request import IORequest
+from .scheduler import ElevatorScheduler, Scheduler
+
+__all__ = ["Simulation"]
+
+Callback = Callable[[IORequest], None]
+
+
+class _DiskServer:
+    """One disk plus its queue and busy state."""
+
+    def __init__(self, model: DiskModel, scheduler: Scheduler) -> None:
+        self.model = model
+        self.scheduler = scheduler
+        self.busy = False
+        self.current: IORequest | None = None
+
+
+class Simulation:
+    """Event-driven simulation of an array of disks.
+
+    Parameters
+    ----------
+    n_disks:
+        Number of disks, ids ``0 .. n_disks - 1``.
+    params:
+        Disk parameters shared by all disks (homogeneous array, as in
+        the paper's testbed).
+    scheduler_factory:
+        Zero-argument callable producing a fresh scheduler per disk;
+        defaults to the elevator.
+    """
+
+    def __init__(
+        self,
+        n_disks: int,
+        params: DiskParameters | None = None,
+        scheduler_factory: Callable[[], Scheduler] = ElevatorScheduler,
+        faults=None,
+    ) -> None:
+        if n_disks < 1:
+            raise ValueError(f"need at least one disk, got {n_disks}")
+        self.params = params if params is not None else DiskParameters.savvio_10k3()
+        #: optional :class:`repro.disksim.faults.LatentSectorErrors`
+        self.faults = faults
+        self.disks = [
+            _DiskServer(DiskModel(d, self.params), scheduler_factory())
+            for d in range(n_disks)
+        ]
+        self.now: float = 0.0
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.completed: list[IORequest] = []
+        self._callbacks: dict[int, Callback] = {}
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self._seq += 1
+        heapq.heappush(self._events, (self.now + delay, self._seq, action))
+
+    def submit(self, request: IORequest, callback: Callback | None = None) -> None:
+        """Enqueue a request on its disk, starting service if idle."""
+        if not 0 <= request.disk < len(self.disks):
+            raise ValueError(f"request targets unknown disk {request.disk}")
+        request.submit_time = self.now
+        if callback is not None:
+            self._callbacks[request.req_id] = callback
+        server = self.disks[request.disk]
+        server.scheduler.add(request)
+        if not server.busy:
+            self._start_next(server)
+
+    def submit_at(self, time: float, request: IORequest, callback: Callback | None = None) -> None:
+        """Submit a request at an absolute future simulation time."""
+        if time < self.now:
+            raise ValueError(f"cannot submit in the past ({time} < {self.now})")
+        self.schedule(time - self.now, lambda: self.submit(request, callback))
+
+    # ------------------------------------------------------------------
+    def _start_next(self, server: _DiskServer) -> None:
+        if server.busy or not server.scheduler:
+            return
+        request = server.scheduler.pop(server.model.head_position)
+        duration = server.model.serve(request)
+        request.start_time = self.now
+        request.finish_time = self.now + duration
+        server.busy = True
+        server.current = request
+        self.schedule(duration, lambda: self._complete(server, request))
+
+    def _complete(self, server: _DiskServer, request: IORequest) -> None:
+        server.busy = False
+        server.current = None
+        if self.faults is not None:
+            self.faults.on_completion(request)
+        self.completed.append(request)
+        cb = self._callbacks.pop(request.req_id, None)
+        if cb is not None:
+            cb(request)
+        self._start_next(server)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Process events until quiescence (or ``until``); returns the clock."""
+        while self._events:
+            t, _, action = self._events[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._events)
+            self.now = t
+            action()
+        return self.now
+
+    def drain(self) -> float:
+        """Alias of :meth:`run` to quiescence."""
+        return self.run()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_disks(self) -> int:
+        return len(self.disks)
+
+    def disk(self, disk_id: int) -> DiskModel:
+        return self.disks[disk_id].model
+
+    @property
+    def total_bytes_read(self) -> int:
+        return sum(s.model.bytes_read for s in self.disks)
+
+    @property
+    def total_bytes_written(self) -> int:
+        return sum(s.model.bytes_written for s in self.disks)
+
+    def pending_count(self) -> int:
+        in_service = sum(1 for s in self.disks if s.busy)
+        return in_service + sum(len(s.scheduler) for s in self.disks)

@@ -1,0 +1,98 @@
+"""Latent sector errors (LSEs): the silent hazard behind the paper's §I.
+
+The paper motivates multi-fault tolerance with the rising "probability
+of disk failures and latent sector errors [3-6]": an LSE is a sector
+that turns out to be unreadable exactly when a reconstruction — already
+running without redundancy — needs it.  A mirror-method rebuild that
+hits an LSE on the single replica disk loses data; the
+mirror-with-parity methods survive by re-routing that element through
+the parity path.
+
+:class:`LatentSectorErrors` tracks unreadable element slots per disk.
+The event engine flags read requests that touch one (``request.error``)
+and, like real drives, *heals* a bad slot when it is overwritten
+(sector reallocation on write).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .request import IOKind, IORequest
+
+__all__ = ["LatentSectorErrors"]
+
+
+class LatentSectorErrors:
+    """A set of unreadable element slots, addressed as ``(disk, slot)``.
+
+    Parameters
+    ----------
+    element_size:
+        Bytes per element slot; requests are mapped to slots with it.
+    """
+
+    def __init__(self, element_size: int) -> None:
+        if element_size <= 0:
+            raise ValueError(f"element size must be positive, got {element_size}")
+        self.element_size = element_size
+        self._bad: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    def inject(self, disk: int, slot: int) -> None:
+        """Mark one element slot unreadable."""
+        if slot < 0:
+            raise ValueError(f"slot must be >= 0, got {slot}")
+        self._bad.add((disk, slot))
+
+    def inject_random(
+        self,
+        rng: np.random.Generator,
+        n_errors: int,
+        n_disks: int,
+        slots_per_disk: int,
+    ) -> list[tuple[int, int]]:
+        """Scatter ``n_errors`` distinct LSEs uniformly; returns them."""
+        placed: list[tuple[int, int]] = []
+        while len(placed) < n_errors:
+            cell = (int(rng.integers(0, n_disks)), int(rng.integers(0, slots_per_disk)))
+            if cell not in self._bad:
+                self._bad.add(cell)
+                placed.append(cell)
+        return placed
+
+    def heal(self, disk: int, slot: int) -> None:
+        """Clear an LSE (sector reallocated by a write)."""
+        self._bad.discard((disk, slot))
+
+    def clear(self) -> None:
+        self._bad.clear()
+
+    # ------------------------------------------------------------------
+    def is_bad(self, disk: int, slot: int) -> bool:
+        return (disk, slot) in self._bad
+
+    def bad_cells(self) -> set[tuple[int, int]]:
+        return set(self._bad)
+
+    def __len__(self) -> int:
+        return len(self._bad)
+
+    # ------------------------------------------------------------------
+    def _slots_of(self, request: IORequest) -> range:
+        first = request.offset // self.element_size
+        last = (request.end - 1) // self.element_size
+        return range(first, last + 1)
+
+    def slots_hit(self, request: IORequest) -> list[int]:
+        """Bad slots a request's byte range touches."""
+        return [s for s in self._slots_of(request) if (request.disk, s) in self._bad]
+
+    def on_completion(self, request: IORequest) -> None:
+        """Engine hook: flag failed reads, heal overwritten slots."""
+        if request.kind is IOKind.READ:
+            if self.slots_hit(request):
+                request.error = True
+        else:
+            for s in self._slots_of(request):
+                self.heal(request.disk, s)

@@ -1,0 +1,94 @@
+"""Trace collection and statistics over completed I/O.
+
+The experiments report throughputs (MB/s) and latency statistics; this
+module turns a :class:`~repro.disksim.events.Simulation`'s completion
+log into those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .events import Simulation
+from .request import IOKind, IORequest
+
+__all__ = ["TraceStats", "summarize", "read_throughput_mbps", "write_throughput_mbps"]
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics of a completed simulation run."""
+
+    makespan_s: float
+    bytes_read: int
+    bytes_written: int
+    n_reads: int
+    n_writes: int
+    read_throughput_mbps: float
+    write_throughput_mbps: float
+    mean_latency_s: float
+    max_latency_s: float
+    per_disk_busy_s: dict[int, float]
+    per_disk_utilization: dict[int, float]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"makespan {self.makespan_s * 1e3:.1f} ms, "
+            f"read {self.read_throughput_mbps:.1f} MB/s, "
+            f"write {self.write_throughput_mbps:.1f} MB/s"
+        )
+
+
+def _filter(requests: list[IORequest], tag: str | None) -> list[IORequest]:
+    if tag is None:
+        return requests
+    return [r for r in requests if r.tag == tag]
+
+
+def summarize(sim: Simulation, tag: str | None = None) -> TraceStats:
+    """Statistics over the simulation's completed requests.
+
+    Parameters
+    ----------
+    sim:
+        A drained simulation.
+    tag:
+        Restrict to requests with this tag (e.g. only ``"user"`` reads
+        of an on-line reconstruction run).
+    """
+    reqs = _filter(sim.completed, tag)
+    makespan = max((r.finish_time for r in reqs), default=0.0)
+    reads = [r for r in reqs if r.kind is IOKind.READ]
+    writes = [r for r in reqs if r.kind is IOKind.WRITE]
+    bytes_read = sum(r.size for r in reads)
+    bytes_written = sum(r.size for r in writes)
+    latencies = [r.latency for r in reqs]
+    busy = {s.model.disk_id: s.model.busy_time for s in sim.disks}
+    util = {
+        d: (b / makespan if makespan > 0 else 0.0) for d, b in busy.items()
+    }
+    return TraceStats(
+        makespan_s=makespan,
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        n_reads=len(reads),
+        n_writes=len(writes),
+        read_throughput_mbps=(bytes_read / _MB / makespan) if makespan > 0 else 0.0,
+        write_throughput_mbps=(bytes_written / _MB / makespan) if makespan > 0 else 0.0,
+        mean_latency_s=(sum(latencies) / len(latencies)) if latencies else 0.0,
+        max_latency_s=max(latencies, default=0.0),
+        per_disk_busy_s=busy,
+        per_disk_utilization=util,
+    )
+
+
+def read_throughput_mbps(sim: Simulation, tag: str | None = None) -> float:
+    """Read MB/s over the run's makespan."""
+    return summarize(sim, tag).read_throughput_mbps
+
+
+def write_throughput_mbps(sim: Simulation, tag: str | None = None) -> float:
+    """Write MB/s over the run's makespan."""
+    return summarize(sim, tag).write_throughput_mbps

@@ -1,0 +1,23 @@
+"""Per-table / per-figure reproduction drivers (see DESIGN.md §4)."""
+
+from . import ext_lse, ext_raid6, ext_three_mirror, fig7, fig8, fig9, fig10, table1
+from .reporting import ExperimentResult, Table, format_series
+from .runner import run_all
+from .svgplot import LineChart, render_all
+
+__all__ = [
+    "table1",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ext_three_mirror",
+    "ext_lse",
+    "ext_raid6",
+    "run_all",
+    "render_all",
+    "LineChart",
+    "ExperimentResult",
+    "Table",
+    "format_series",
+]

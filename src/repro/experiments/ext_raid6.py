@@ -1,0 +1,74 @@
+"""Extension experiment: the measured RAID 6 comparison (§VII-A's footnote).
+
+The paper measured only the traditional mirror-with-parity baseline and
+noted "the comparison between our method and RAID 6 is similar",
+leaning on the theoretical Fig. 7.  With the simulator we can run the
+measurement they skipped: average reconstruction throughput of RAID 6
+(RDP, shortened) against both mirror-with-parity variants under every
+double-disk failure.
+
+The availability metric here is **recovered data per second**: RAID 6
+reads the entire stripe from all intact disks (high raw read MB/s!) but
+recovers only the two failed columns' worth of data — raw read
+throughput would flatter it absurdly, which is exactly why the paper
+defines availability as *recovered* data read out per unit time (§III).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.layouts import (
+    RAID6Layout,
+    shifted_mirror_parity,
+    traditional_mirror_parity,
+)
+from ..raidsim.availability import measure_case
+from .reporting import ExperimentResult, format_series
+
+__all__ = ["run"]
+
+
+def _avg_recovered_mbps(layout_factory, n_stripes: int) -> float:
+    layout = layout_factory()
+    cases = list(combinations(range(layout.n_disks), 2))
+    total = 0.0
+    for failed in cases:
+        res = measure_case(layout_factory(), failed, n_stripes=n_stripes)
+        assert res.verified
+        total += res.recovered_throughput_mbps
+    return total / len(cases)
+
+
+def run(n_values=(4, 5, 6, 7), n_stripes: int = 8) -> ExperimentResult:
+    """Recovered-data throughput under all double failures, three ways."""
+    builders = {
+        "RAID 6 rdp (MB/s)": lambda n: RAID6Layout(n, "rdp"),
+        "traditional mirror+parity (MB/s)": traditional_mirror_parity,
+        "shifted mirror+parity (MB/s)": shifted_mirror_parity,
+    }
+    series = {name: [] for name in builders}
+    for n in n_values:
+        for name, builder in builders.items():
+            series[name].append(
+                _avg_recovered_mbps(lambda n=n, b=builder: b(n), n_stripes)
+            )
+    shifted = series["shifted mirror+parity (MB/s)"]
+    raid6 = series["RAID 6 rdp (MB/s)"]
+    series["shifted over RAID 6 (x)"] = [s / r for s, r in zip(shifted, raid6)]
+    text = format_series("n", list(n_values), series, precision=2)
+    text += (
+        "\nRecovered-data throughput, averaged over every double-disk failure."
+        "\nRAID 6 pays a full-stripe read for two columns of recovery; the"
+        "\nshifted arrangement recovers the same data from targeted reads."
+    )
+    return ExperimentResult(
+        experiment_id="ext-raid6",
+        description="Measured RAID 6 vs mirror-with-parity reconstruction availability",
+        text=text,
+        data={"n": list(n_values), **series},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,68 @@
+"""Plain-text reporting helpers shared by the experiment drivers.
+
+Every experiment prints the same artifact the paper shows — a table of
+rows, or a figure rendered as aligned series columns — so results can
+be eyeballed against the original in a terminal and diffed in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_series", "ExperimentResult"]
+
+
+@dataclass
+class Table:
+    """A fixed-column ascii table."""
+
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            widths = [max(w, len(c)) for w, c in zip(widths, row)]
+        def fmt(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(r) for r in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def format_series(x_label: str, xs, series: dict[str, list], precision: int = 2) -> str:
+    """Render a figure as aligned columns: one x column, one per series."""
+    table = Table([x_label, *series.keys()])
+    for idx, x in enumerate(xs):
+        cells = [x] + [
+            (f"{vals[idx]:.{precision}f}" if isinstance(vals[idx], float) else vals[idx])
+            for vals in series.values()
+        ]
+        table.add(*cells)
+    return table.render()
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result wrapper: an id, printable text, and raw data."""
+
+    experiment_id: str
+    description: str
+    text: str
+    data: dict
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"== {self.experiment_id}: {self.description} ==\n{self.text}"

@@ -1,0 +1,74 @@
+"""Run every table/figure reproduction in one go.
+
+Usage::
+
+    python -m repro.experiments.runner            # full run
+    python -m repro.experiments.runner --quick    # smaller sweeps
+
+Prints each experiment's artifact (a table or figure-as-columns) in
+paper order: Table I, Fig. 7, Fig. 8, Fig. 9(a)/(b), Fig. 10(a)/(b).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ext_lse, ext_raid6, ext_three_mirror, fig7, fig8, fig9, fig10, table1
+from .reporting import ExperimentResult
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(quick: bool = False) -> list[ExperimentResult]:
+    """All experiments: paper order, then the §VIII extension."""
+    n_values = (3, 4, 5) if quick else (3, 4, 5, 6, 7)
+    n_ops = 60 if quick else 200
+    results = [
+        table1.run(n_values),
+        fig7.run(2, 20 if quick else 50),
+        fig8.run(),
+        fig9.run_a(n_values, n_stripes=8 if quick else 16),
+        fig9.run_b(n_values, n_stripes=6 if quick else 12),
+        fig10.run_a(n_values, n_ops=n_ops),
+        fig10.run_b(n_values, n_ops=n_ops),
+        ext_three_mirror.run(n_values, n_stripes=8 if quick else 12),
+        ext_lse.run(
+            n=5,
+            error_counts=(0, 4, 8) if quick else (0, 2, 4, 8, 16),
+            trials=8 if quick else 20,
+        ),
+        ext_raid6.run(
+            n_values=(4, 5) if quick else (4, 5, 6, 7),
+            n_stripes=6 if quick else 8,
+        ),
+    ]
+    return results
+
+
+def main(argv=None) -> int:
+    """CLI entry point: print every experiment artifact."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps for CI")
+    parser.add_argument(
+        "--svg",
+        metavar="DIR",
+        help="also render Figs. 7/9/10 as SVG files into DIR",
+    )
+    args = parser.parse_args(argv)
+    t0 = time.time()
+    for result in run_all(quick=args.quick):
+        print(result)
+        print()
+    if args.svg:
+        from .svgplot import render_all
+
+        for path in render_all(args.svg, quick=args.quick):
+            print(f"wrote {path}")
+    print(f"[all experiments done in {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

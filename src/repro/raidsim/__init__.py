@@ -1,0 +1,33 @@
+"""RAID-level simulation: controllers, rebuild drivers, measurements."""
+
+from .availability import (
+    AvailabilityPoint,
+    average_reconstruction_throughput,
+    measure_case,
+    reconstruction_series,
+)
+from .controller import RaidController, RebuildResult, WriteResult
+from .degraded import DegradedArray, DegradedStats
+from .reconstruction import OnlineReconstruction, OnlineResult, degraded_read_sources
+from .scrub import ScrubReport, Scrubber
+from .writes import WritePoint, measure_write_throughput, write_series
+
+__all__ = [
+    "RaidController",
+    "RebuildResult",
+    "WriteResult",
+    "AvailabilityPoint",
+    "measure_case",
+    "average_reconstruction_throughput",
+    "reconstruction_series",
+    "OnlineReconstruction",
+    "OnlineResult",
+    "degraded_read_sources",
+    "Scrubber",
+    "ScrubReport",
+    "DegradedArray",
+    "DegradedStats",
+    "WritePoint",
+    "measure_write_throughput",
+    "write_series",
+]

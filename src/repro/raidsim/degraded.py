@@ -1,0 +1,281 @@
+"""Degraded-mode service: the array keeps working between failure and repair.
+
+§III's premise is that "the storage system keeps on serving user
+applications" after a failure.  :class:`DegradedArray` makes that mode
+explicit, the way md/RAID drivers do:
+
+* **reads** route around the failed disks via
+  :func:`~repro.raidsim.reconstruction.degraded_read_sources` (replica
+  first, then the parity path);
+* **writes** execute their plan minus the failed disks' cells; the
+  skipped cells are tracked in a *dirty map* (md's write-intent bitmap);
+* **resync** rebuilds the failed disks and replays the dirty map so the
+  rebuilt columns reflect every write accepted while degraded.
+
+Content-store semantics match throughout, so the byte-for-byte
+verification used everywhere else still applies after a
+write-while-degraded-then-resync cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.layouts import MirrorLayout, MirrorParityLayout, RAID5Layout, ThreeMirrorLayout
+from ..disksim.request import IOKind
+from ..workloads.generator import WriteOp
+from .controller import RaidController, RebuildResult
+from .reconstruction import degraded_read_sources
+
+__all__ = ["DegradedArray", "DegradedStats"]
+
+_MB = 1024 * 1024
+
+
+@dataclass
+class DegradedStats:
+    """Service counters for one degraded episode."""
+
+    reads_served: int = 0
+    degraded_reads: int = 0
+    writes_served: int = 0
+    elements_skipped: int = 0  # writes destined for failed disks
+    read_latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def mean_read_latency_s(self) -> float:
+        if not self.read_latencies_s:
+            return 0.0
+        return float(np.mean(self.read_latencies_s))
+
+
+class DegradedArray:
+    """A controller operating with one or more failed disks.
+
+    Parameters
+    ----------
+    controller:
+        The healthy controller; failing the disks is this class's job.
+    failed_disks:
+        Physical disks that just died.  Their content is destroyed on
+        entry (it is, after all, gone).
+    """
+
+    SUPPORTED = (MirrorLayout, MirrorParityLayout, ThreeMirrorLayout, RAID5Layout)
+
+    def __init__(self, controller: RaidController, failed_disks) -> None:
+        if not isinstance(controller.layout, self.SUPPORTED):
+            raise NotImplementedError(
+                f"degraded-mode service is implemented for the mirror family "
+                f"and RAID 5, not {controller.layout.name}"
+            )
+        self.controller = controller
+        self.failed = tuple(sorted(set(failed_disks)))
+        if len(self.failed) > controller.layout.fault_tolerance:
+            from ..core.errors import UnrecoverableFailureError
+
+            raise UnrecoverableFailureError(
+                f"{len(self.failed)} failures exceed tolerance "
+                f"{controller.layout.fault_tolerance}"
+            )
+        self._lost_snapshot = {f: controller.content[f].copy() for f in self.failed}
+        for f in self.failed:
+            controller.content[f] = 0xEE  # the platters are gone
+        #: logical cells whose on-disk (failed) copy is stale:
+        #: ``stripe -> set of (disk, row)``
+        self.dirty: dict[int, set[tuple[int, int]]] = {}
+        self.stats = DegradedStats()
+        self._resynced = False
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, stripe: int, i: int, j: int) -> np.ndarray:
+        """Serve one data-element read, timing it on the simulator."""
+        ctrl = self.controller
+        logical_failed = {
+            ctrl.stack.logical_disk(stripe, f) for f in self.failed
+        }
+        sources = degraded_read_sources(ctrl.layout, logical_failed, i, j)
+        degraded = sources != [ctrl.layout.data_cell(i, j)]
+        cells = [ctrl.place(stripe, c) for c in sources]
+        t0 = ctrl.array.now
+        done = {}
+
+        def on_complete() -> None:
+            done["t"] = ctrl.array.now
+
+        ctrl.array.submit_elements(
+            cells, IOKind.READ, priority=0, tag="degraded-read", on_complete=on_complete
+        )
+        ctrl.array.run()
+        self.stats.reads_served += 1
+        self.stats.degraded_reads += int(degraded)
+        self.stats.read_latencies_s.append(done["t"] - t0)
+        # value reconstruction from the content store
+        if not degraded:
+            return ctrl.element_content(stripe, sources[0]).copy()
+        if len(sources) == 1:
+            return ctrl.element_content(stripe, sources[0]).copy()
+        acc = np.zeros(ctrl.payload_bytes, dtype=np.uint8)
+        for c in sources:
+            acc ^= ctrl.element_content(stripe, c)
+        return acc
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(self, op: WriteOp, rng: np.random.Generator | None = None) -> None:
+        """Accept a write while degraded.
+
+        The plan's cells on failed disks are skipped (and marked dirty
+        for resync); everything else — surviving replicas, parity —
+        updates normally, so redundancy over the *surviving* disks
+        stays exact.
+        """
+        if rng is None:
+            rng = np.random.default_rng(self.stats.writes_served)
+        ctrl = self.controller
+        plan = ctrl.layout.write_plan(list(op.elements))
+        live_writes = []
+        live_reads = []
+        logical_failed = {
+            ctrl.stack.logical_disk(op.stripe, f) for f in self.failed
+        }
+        for disk, rows in plan.writes.items():
+            for row in rows:
+                if disk in logical_failed:
+                    self.dirty.setdefault(op.stripe, set()).add((disk, row))
+                    self.stats.elements_skipped += 1
+                else:
+                    live_writes.append(ctrl.place(op.stripe, (disk, row)))
+        for disk, rows in plan.reads.items():
+            for row in rows:
+                if disk not in logical_failed:
+                    live_reads.append(ctrl.place(op.stripe, (disk, row)))
+
+        def do_writes() -> None:
+            ctrl.array.submit_elements(live_writes, IOKind.WRITE, tag="degraded-write")
+
+        if live_reads:
+            ctrl.array.submit_elements(
+                live_reads, IOKind.READ, tag="degraded-rmw", on_complete=do_writes
+            )
+        else:
+            do_writes()
+        ctrl.array.run()
+        self._apply_degraded_content(op, rng, logical_failed)
+        self.stats.writes_served += 1
+
+    # ------------------------------------------------------------------
+    def _logical_value(
+        self, stripe: int, i: int, j: int, failed: set[int]
+    ) -> np.ndarray:
+        """The logical (pre-write) value of ``a[i, j]`` despite failures.
+
+        Tries the data cell, then any surviving replica, then the
+        parity path — the same cascade degraded reads use, but against
+        the content store.
+        """
+        ctrl = self.controller
+        lay = ctrl.layout
+        cell = lay.data_cell(i, j)
+        if cell[0] not in failed:
+            return ctrl.element_content(stripe, cell).copy()
+        for rep in lay.replica_cells(i, j):
+            if rep[0] not in failed:
+                return ctrl.element_content(stripe, rep).copy()
+        if isinstance(lay, (MirrorParityLayout, RAID5Layout)):
+            acc = ctrl.element_content(stripe, lay.parity_cell(j)).copy()
+            for ii in range(lay.n):
+                if ii != i:
+                    acc ^= self._logical_value(stripe, ii, j, failed)
+            return acc
+        from ..core.errors import UnrecoverableFailureError
+
+        raise UnrecoverableFailureError(f"no surviving value for a[{i},{j}]")
+
+    def _apply_degraded_content(
+        self, op: WriteOp, rng: np.random.Generator, logical_failed: set[int]
+    ) -> None:
+        """Content-store semantics of a degraded write.
+
+        Cells on failed disks stay destroyed (the platters are gone);
+        parity advances by the XOR *delta* of each overwritten element
+        — old logical value XOR new — exactly the read-modify-write
+        arithmetic, which never needs the failed cell itself.
+        """
+        ctrl = self.controller
+        lay = ctrl.layout
+        # pass 1: old logical values (before anything is overwritten —
+        # a parity-path lookup reads row-mates)
+        updates: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+        for i, j in op.elements:
+            payload = ctrl.film.fresh(rng)
+            old = self._logical_value(op.stripe, i, j, logical_failed)
+            updates.append((i, j, old, payload))
+        # pass 2: apply
+        deltas: dict[int, np.ndarray] = {}
+        for i, j, old, payload in updates:
+            deltas.setdefault(j, np.zeros(ctrl.payload_bytes, dtype=np.uint8))
+            deltas[j] ^= old ^ payload
+            for cell in [lay.data_cell(i, j), *lay.replica_cells(i, j)]:
+                if cell[0] not in logical_failed:
+                    pd, slot = ctrl.place(op.stripe, cell)
+                    ctrl.content[pd, slot] = payload
+        if isinstance(lay, (MirrorParityLayout, RAID5Layout)):
+            for j, delta in deltas.items():
+                pcell = lay.parity_cell(j)
+                if pcell[0] in logical_failed:
+                    continue  # parity disk dead; dirty map already has it
+                pd, slot = ctrl.place(op.stripe, pcell)
+                ctrl.content[pd, slot] ^= delta
+
+    # ------------------------------------------------------------------
+    # resync
+    # ------------------------------------------------------------------
+    def resync(self, window: int = 4) -> RebuildResult:
+        """Rebuild the failed disks (replacement hardware arrived).
+
+        The rebuild regenerates every element of the failed disks from
+        surviving redundancy — including the elements written while
+        degraded, whose surviving copies/parity are current.  The dirty
+        map then clears; verification compares against pre-failure
+        content *except* dirty cells, which are checked against their
+        surviving redundancy instead.
+        """
+        ctrl = self.controller
+        result = ctrl.rebuild(self.failed, window=window, verify=False)
+        # verification: unwritten cells must match the pre-failure
+        # snapshot; dirty cells must satisfy verify_redundancy (checked
+        # globally below).
+        verified = True
+        for f in self.failed:
+            snapshot = self._lost_snapshot[f]
+            for stripe in range(ctrl.n_stripes):
+                logical = ctrl.stack.logical_disk(stripe, f)
+                dirty_rows = {
+                    row for d, row in self.dirty.get(stripe, set()) if d == logical
+                }
+                for row in range(ctrl.layout.rows):
+                    slot = ctrl.stack.element_offset(stripe, row)
+                    if row in dirty_rows:
+                        continue  # overwritten while degraded, by design
+                    if not np.array_equal(ctrl.content[f, slot], snapshot[slot]):
+                        verified = False
+        verified = verified and ctrl.verify_redundancy()
+        self.dirty.clear()
+        self._resynced = True
+        return RebuildResult(
+            failed_disks=result.failed_disks,
+            makespan_s=result.makespan_s,
+            bytes_read=result.bytes_read,
+            bytes_written=result.bytes_written,
+            read_throughput_mbps=result.read_throughput_mbps,
+            recovered_bytes=result.recovered_bytes,
+            recovered_throughput_mbps=result.recovered_throughput_mbps,
+            verified=verified,
+            max_read_accesses_per_stripe=result.max_read_accesses_per_stripe,
+        )

@@ -1,0 +1,23 @@
+"""Workload generation: write mixes, user read streams, synthetic content."""
+
+from .film import DEFAULT_PAYLOAD_BYTES, FilmSource
+from .generator import UserRead, WriteOp, random_large_writes, user_read_stream
+from .persistence import (
+    load_user_reads,
+    load_write_ops,
+    save_user_reads,
+    save_write_ops,
+)
+
+__all__ = [
+    "FilmSource",
+    "DEFAULT_PAYLOAD_BYTES",
+    "WriteOp",
+    "UserRead",
+    "random_large_writes",
+    "user_read_stream",
+    "save_write_ops",
+    "load_write_ops",
+    "save_user_reads",
+    "load_user_reads",
+]

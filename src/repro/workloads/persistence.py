@@ -1,0 +1,124 @@
+"""Workload persistence: JSON Lines save/load for reproducible runs.
+
+Experiments should be replayable byte-for-byte.  Generated workloads
+are deterministic given a seed, but persisting them decouples replays
+from generator-version drift and lets externally captured traces (e.g.
+converted from blktrace) drive the same harness.
+
+Format: one JSON object per line.  Write ops::
+
+    {"stripe": 3, "elements": [[0, 1], [1, 1]]}
+
+User reads::
+
+    {"time": 0.183, "stripe": 5, "i": 0, "j": 2}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from .generator import UserRead, WriteOp
+
+__all__ = [
+    "save_write_ops",
+    "load_write_ops",
+    "save_user_reads",
+    "load_user_reads",
+]
+
+
+def _open_for(path_or_file, mode: str):
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, mode, encoding="utf-8"), True
+
+
+def save_write_ops(ops: Iterable[WriteOp], path_or_file) -> int:
+    """Write ops as JSONL; returns the count written."""
+    fh: IO
+    fh, owned = _open_for(path_or_file, "w")
+    try:
+        count = 0
+        for op in ops:
+            fh.write(
+                json.dumps(
+                    {"stripe": op.stripe, "elements": [list(e) for e in op.elements]}
+                )
+                + "\n"
+            )
+            count += 1
+        return count
+    finally:
+        if owned:
+            fh.close()
+
+
+def load_write_ops(path_or_file) -> list[WriteOp]:
+    """Read a JSONL write workload; validates field shapes."""
+    fh, owned = _open_for(path_or_file, "r")
+    try:
+        ops: list[WriteOp] = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            try:
+                stripe = int(record["stripe"])
+                elements = tuple((int(i), int(j)) for i, j in record["elements"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"malformed write op on line {lineno}: {line!r}") from exc
+            if not elements:
+                raise ValueError(f"write op on line {lineno} has no elements")
+            ops.append(WriteOp(stripe, elements))
+        return ops
+    finally:
+        if owned:
+            fh.close()
+
+
+def save_user_reads(reads: Iterable[UserRead], path_or_file) -> int:
+    """Write user reads as JSONL; returns the count written."""
+    fh, owned = _open_for(path_or_file, "w")
+    try:
+        count = 0
+        for r in reads:
+            fh.write(
+                json.dumps({"time": r.time, "stripe": r.stripe, "i": r.i, "j": r.j})
+                + "\n"
+            )
+            count += 1
+        return count
+    finally:
+        if owned:
+            fh.close()
+
+
+def load_user_reads(path_or_file) -> list[UserRead]:
+    """Read a JSONL user-read stream, re-sorted by arrival time."""
+    fh, owned = _open_for(path_or_file, "r")
+    try:
+        reads: list[UserRead] = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            try:
+                reads.append(
+                    UserRead(
+                        float(record["time"]),
+                        int(record["stripe"]),
+                        int(record["i"]),
+                        int(record["j"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"malformed user read on line {lineno}: {line!r}") from exc
+        reads.sort(key=lambda r: r.time)
+        return reads
+    finally:
+        if owned:
+            fh.close()

@@ -1,0 +1,158 @@
+"""Cauchy Reed-Solomon bit-matrix coding."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.bitmatrix import (
+    BitMatrixCode,
+    CauchyRSCode,
+    gf_constant_to_bitmatrix,
+    gf_matrix_to_bitmatrix,
+)
+from repro.codes.galois import GF
+from repro.codes.matrix import identity
+
+
+def _bits(value: int, w: int) -> np.ndarray:
+    return np.array([(value >> b) & 1 for b in range(w)], dtype=np.uint8)
+
+
+# ----------------------------------------------------------------------
+# bit-matrix expansion
+# ----------------------------------------------------------------------
+
+
+@given(c=st.integers(0, 255), x=st.integers(0, 255))
+@settings(max_examples=80)
+def test_bitmatrix_multiplication_matches_field(c, x):
+    """M_c @ bits(x) == bits(c * x) over GF(2) — the defining identity."""
+    gf = GF(8)
+    m = gf_constant_to_bitmatrix(c, gf)
+    got = (m @ _bits(x, 8)) % 2
+    assert np.array_equal(got, _bits(gf.multiply(c, x), 8))
+
+
+def test_bitmatrix_of_one_is_identity():
+    gf = GF(8)
+    assert np.array_equal(gf_constant_to_bitmatrix(1, gf), np.eye(8, dtype=np.uint8))
+
+
+def test_bitmatrix_of_zero_is_zero():
+    gf = GF(4)
+    assert not gf_constant_to_bitmatrix(0, gf).any()
+
+
+def test_matrix_expansion_shape_and_blocks():
+    gf = GF(4)
+    mat = np.array([[1, 2], [3, 0]], dtype=np.uint8)
+    bits = gf_matrix_to_bitmatrix(mat, gf)
+    assert bits.shape == (8, 8)
+    assert np.array_equal(bits[:4, :4], np.eye(4, dtype=np.uint8))
+    assert not bits[4:, 4:].any()
+
+
+# ----------------------------------------------------------------------
+# CRS code
+# ----------------------------------------------------------------------
+
+
+def _data(rng, k, w, psize=16):
+    return [rng.integers(0, 256, w * psize).astype(np.uint8) for _ in range(k)]
+
+
+@pytest.mark.parametrize("k,m,w", [(3, 2, 4), (4, 2, 8), (5, 3, 8)])
+def test_crs_decode_every_erasure_pattern(k, m, w, rng):
+    code = CauchyRSCode(k, m, w)
+    data = _data(rng, k, w)
+    devices = data + code.encode(data)
+    for lost in combinations(range(k + m), m):
+        got = code.decode([None if i in lost else devices[i] for i in range(k + m)])
+        for i in range(k + m):
+            assert np.array_equal(got[i], devices[i]), (lost, i)
+
+
+def test_crs_matches_bitmatrix_reference_encode(rng):
+    """The XOR-only encoder agrees with a direct (slow) application of
+    the expanded binary generator to the packet vectors."""
+    k, m, w = 3, 2, 8
+    code = CauchyRSCode(k, m, w)
+    data = _data(rng, k, w, psize=4)
+    coding = code.encode(data)
+    psize = data[0].size // w
+    packets = [d.reshape(w, psize) for d in data]
+    bits = code.coding_bitmatrix
+    for i in range(m):
+        expect = np.zeros((w, psize), dtype=np.uint8)
+        for r in range(w):
+            for col in np.nonzero(bits[i * w + r])[0]:
+                j, s = divmod(int(col), w)
+                expect[r] ^= packets[j][s]
+        assert np.array_equal(coding[i], expect.reshape(-1))
+
+
+def test_crs_encode_is_xor_linear(rng):
+    code = CauchyRSCode(3, 2, 8)
+    a = _data(rng, 3, 8)
+    b = _data(rng, 3, 8)
+    ca, cb = code.encode(a), code.encode(b)
+    cab = code.encode([x ^ y for x, y in zip(a, b)])
+    for x, y, z in zip(ca, cb, cab):
+        assert np.array_equal(x ^ y, z)
+
+
+def test_region_divisibility_enforced(rng):
+    code = CauchyRSCode(2, 1, 8)
+    with pytest.raises(ValueError, match="packets"):
+        code.encode([np.zeros(9, dtype=np.uint8), np.zeros(9, dtype=np.uint8)])
+
+
+def test_unequal_regions_rejected():
+    code = CauchyRSCode(2, 1, 4)
+    with pytest.raises(ValueError, match="equal length"):
+        code.encode([np.zeros(8, dtype=np.uint8), np.zeros(16, dtype=np.uint8)])
+
+
+def test_too_many_erasures_rejected(rng):
+    code = CauchyRSCode(3, 2, 4)
+    data = _data(rng, 3, 4)
+    devices = data + code.encode(data)
+    with pytest.raises(ValueError, match="exceed tolerance"):
+        code.decode([None, None, None, devices[3], devices[4]])
+
+
+def test_field_too_small_rejected():
+    with pytest.raises(ValueError, match="field size"):
+        CauchyRSCode(10, 8, 4)
+
+
+def test_non_systematic_matrix_rejected():
+    gf = GF(4)
+    bad = np.ones((4, 2), dtype=np.uint8)
+    with pytest.raises(ValueError, match="systematic"):
+        BitMatrixCode(2, 2, bad, gf)
+
+
+def test_xor_count_positive_and_consistent():
+    code = CauchyRSCode(4, 2, 8)
+    ones = int(code.coding_bitmatrix.sum())
+    assert code.encode_xor_count() == ones - 2 * 8
+    assert code.encode_xor_count() > 0
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_crs_random_roundtrip(seed):
+    rng = np.random.default_rng(seed)
+    code = CauchyRSCode(4, 2, 4)
+    data = _data(rng, 4, 4, psize=8)
+    devices = data + code.encode(data)
+    lost = sorted(rng.choice(6, size=2, replace=False).tolist())
+    got = code.decode([None if i in lost else devices[i] for i in range(6)])
+    for i in range(6):
+        assert np.array_equal(got[i], devices[i])

@@ -1,0 +1,94 @@
+"""Unified decoder facade over all four code families."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes.decoder import (
+    EvenOddDecoder,
+    RDPDecoder,
+    RSDecoder,
+    SingleParityDecoder,
+)
+
+
+def _full_devices(decoder, rng):
+    rows = getattr(decoder, "rows", 1)
+    size = rows * 8
+    data = [rng.integers(0, 256, size).astype(np.uint8) for _ in range(decoder.n_data)]
+    return decoder.decode(data + [None] * decoder.n_parity)
+
+
+DECODER_FACTORIES = [
+    lambda: SingleParityDecoder(5),
+    lambda: RSDecoder(5, 2),
+    lambda: RSDecoder(4, 3, w=16),
+    lambda: EvenOddDecoder(5),
+    lambda: RDPDecoder(5),
+]
+
+
+@pytest.mark.parametrize("factory", DECODER_FACTORIES)
+def test_decode_every_max_erasure_pattern(factory, rng):
+    dec = factory()
+    devices = _full_devices(dec, rng)
+    assert len(devices) == dec.n_devices
+    for lost in combinations(range(dec.n_devices), dec.fault_tolerance()):
+        got = dec.decode([None if i in lost else devices[i] for i in range(dec.n_devices)])
+        for i in range(dec.n_devices):
+            assert np.array_equal(got[i], devices[i]), (lost, i)
+
+
+@pytest.mark.parametrize("factory", DECODER_FACTORIES)
+def test_too_many_erasures_rejected(factory, rng):
+    dec = factory()
+    devices = _full_devices(dec, rng)
+    k = dec.fault_tolerance() + 1
+    broken = [None] * k + devices[k:]
+    with pytest.raises(ValueError, match="exceed tolerance"):
+        dec.decode(broken)
+
+
+@pytest.mark.parametrize("factory", DECODER_FACTORIES)
+def test_wrong_device_count_rejected(factory):
+    dec = factory()
+    with pytest.raises(ValueError, match="device slots"):
+        dec.decode([None] * (dec.n_devices + 1))
+
+
+def test_single_parity_recovers_parity_device(rng):
+    dec = SingleParityDecoder(3)
+    data = [rng.integers(0, 256, 8).astype(np.uint8) for _ in range(3)]
+    full = dec.decode(data + [None])
+    expected_parity = data[0] ^ data[1] ^ data[2]
+    assert np.array_equal(full[3], expected_parity)
+
+
+def test_evenodd_decoder_picks_shorten_prime():
+    assert EvenOddDecoder(5).code.p == 5
+    assert EvenOddDecoder(6).code.p == 7
+    assert EvenOddDecoder(8).code.p == 11
+
+
+def test_rdp_decoder_picks_shorten_prime():
+    # RDP needs p >= n + 1 data-capable columns
+    assert RDPDecoder(4).code.p == 5
+    assert RDPDecoder(6).code.p == 7
+    assert RDPDecoder(7).code.p == 11
+
+
+def test_column_decoder_rejects_indivisible_buffers(rng):
+    dec = EvenOddDecoder(5)  # rows = 4
+    bad = [rng.integers(0, 256, 10).astype(np.uint8) for _ in range(7)]
+    with pytest.raises(ValueError, match="divisible"):
+        dec.decode(bad)
+
+
+def test_fault_tolerances():
+    assert SingleParityDecoder(4).fault_tolerance() == 1
+    assert RSDecoder(4, 3).fault_tolerance() == 3
+    assert EvenOddDecoder(4).fault_tolerance() == 2
+    assert RDPDecoder(4).fault_tolerance() == 2

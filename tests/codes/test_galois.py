@@ -1,0 +1,245 @@
+"""GF(2^w) arithmetic: axioms, reference cross-checks, region kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.galois import GF, PRIMITIVE_POLYNOMIALS
+from tests.conftest import slow_gf_multiply
+
+ALL_W = sorted(PRIMITIVE_POLYNOMIALS)
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("w", ALL_W)
+def test_field_sizes(w):
+    gf = GF(w)
+    assert gf.size == 2**w
+    assert gf.max_element == 2**w - 1
+
+
+def test_fields_are_cached_singletons():
+    assert GF(8) is GF(8)
+    assert GF(8) is not GF(4)
+
+
+def test_unsupported_word_size_rejected():
+    with pytest.raises(ValueError, match="unsupported word size"):
+        GF(3)
+    with pytest.raises(ValueError, match="unsupported word size"):
+        GF(32)
+
+
+# ----------------------------------------------------------------------
+# scalar arithmetic vs the bitwise reference
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("w", [4, 8])
+def test_multiply_matches_bitwise_reference_exhaustive_small(w):
+    gf = GF(w)
+    poly = PRIMITIVE_POLYNOMIALS[w]
+    for a in range(gf.size):
+        for b in range(gf.size):
+            assert gf.multiply(a, b) == slow_gf_multiply(a, b, poly, w)
+
+
+def test_multiply_matches_bitwise_reference_sampled_w16(rng):
+    gf = GF(16)
+    poly = PRIMITIVE_POLYNOMIALS[16]
+    for _ in range(500):
+        a = int(rng.integers(0, gf.size))
+        b = int(rng.integers(0, gf.size))
+        assert gf.multiply(a, b) == slow_gf_multiply(a, b, poly, 16)
+
+
+@pytest.mark.parametrize("w", ALL_W)
+def test_multiplicative_identity_and_zero(w):
+    gf = GF(w)
+    for a in (0, 1, gf.max_element):
+        assert gf.multiply(a, 1) == a
+        assert gf.multiply(a, 0) == 0
+
+
+@pytest.mark.parametrize("w", [2, 4, 8])
+def test_inverse_exhaustive(w):
+    gf = GF(w)
+    for a in range(1, gf.size):
+        assert gf.multiply(a, gf.inverse(a)) == 1
+
+
+def test_inverse_of_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        GF(8).inverse(0)
+
+
+def test_divide_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        GF(8).divide(5, 0)
+    with pytest.raises(ZeroDivisionError):
+        GF(8).divide(np.array([1, 2]), np.array([3, 0]))
+
+
+def test_add_is_xor_and_self_inverse():
+    gf = GF(8)
+    assert gf.add(0b1010, 0b0110) == 0b1100
+    assert gf.subtract is GF.add or gf.subtract(7, 7) == 0
+    a = np.arange(256)
+    assert np.all(gf.add(a, a) == 0)
+
+
+# ----------------------------------------------------------------------
+# algebraic laws (property-based)
+# ----------------------------------------------------------------------
+
+
+@given(a=st.integers(0, 255), b=st.integers(0, 255), c=st.integers(0, 255))
+def test_gf8_multiplication_commutative_and_associative(a, b, c):
+    gf = GF(8)
+    assert gf.multiply(a, b) == gf.multiply(b, a)
+    assert gf.multiply(a, gf.multiply(b, c)) == gf.multiply(gf.multiply(a, b), c)
+
+
+@given(a=st.integers(0, 255), b=st.integers(0, 255), c=st.integers(0, 255))
+def test_gf8_distributive_law(a, b, c):
+    gf = GF(8)
+    assert gf.multiply(a, b ^ c) == gf.multiply(a, b) ^ gf.multiply(a, c)
+
+
+@given(a=st.integers(1, 255), b=st.integers(1, 255))
+def test_gf8_division_inverts_multiplication(a, b):
+    gf = GF(8)
+    assert gf.divide(gf.multiply(a, b), b) == a
+
+
+@given(a=st.integers(1, 65535), n=st.integers(-6, 6))
+@settings(max_examples=60)
+def test_gf16_power_matches_repeated_multiplication(a, n):
+    gf = GF(16)
+    expected = 1
+    for _ in range(abs(n)):
+        expected = gf.multiply(expected, a if n > 0 else gf.inverse(a))
+    assert gf.power(a, n) == expected
+
+
+def test_power_of_zero():
+    gf = GF(8)
+    assert gf.power(0, 0) == 1  # empty product convention
+    assert gf.power(0, 3) == 0
+
+
+def test_exp_log_roundtrip():
+    gf = GF(8)
+    for a in range(1, 256):
+        assert gf.exp(gf.log(a)) == a
+    with pytest.raises(ValueError):
+        gf.log(0)
+
+
+def test_exp_cycles_with_group_order():
+    gf = GF(8)
+    assert gf.exp(0) == 1
+    assert gf.exp(255) == gf.exp(0)
+    assert gf.exp(256) == gf.exp(1)
+
+
+# ----------------------------------------------------------------------
+# vectorised operations
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("w", [4, 8, 16])
+def test_array_multiply_matches_scalar(w, rng):
+    gf = GF(w)
+    a = rng.integers(0, gf.size, 200)
+    b = rng.integers(0, gf.size, 200)
+    out = gf.multiply(a, b)
+    for i in range(0, 200, 17):
+        assert out[i] == gf.multiply(int(a[i]), int(b[i]))
+
+
+@pytest.mark.parametrize("w", [8, 16])
+def test_array_divide_matches_scalar(w, rng):
+    gf = GF(w)
+    a = rng.integers(0, gf.size, 100)
+    b = rng.integers(1, gf.size, 100)
+    out = gf.divide(a, b)
+    for i in range(0, 100, 13):
+        assert out[i] == gf.divide(int(a[i]), int(b[i]))
+
+
+def test_scalar_results_are_python_ints():
+    gf = GF(8)
+    assert isinstance(gf.multiply(3, 7), int)
+    assert isinstance(gf.divide(6, 3), int)
+    assert isinstance(gf.inverse(9), int)
+    assert isinstance(gf.power(3, 4), int)
+
+
+# ----------------------------------------------------------------------
+# region kernels (the coding hot path)
+# ----------------------------------------------------------------------
+
+
+def test_multiply_region_by_zero_one_and_constant(rng):
+    gf = GF(8)
+    region = rng.integers(0, 256, 64).astype(np.uint8)
+    assert np.all(gf.multiply_region(0, region) == 0)
+    assert np.array_equal(gf.multiply_region(1, region), region)
+    c = 0x53
+    expected = np.array([gf.multiply(c, int(x)) for x in region], dtype=np.uint8)
+    assert np.array_equal(gf.multiply_region(c, region), expected)
+
+
+def test_multiply_region_into_accumulates(rng):
+    gf = GF(8)
+    region = rng.integers(0, 256, 32).astype(np.uint8)
+    acc = rng.integers(0, 256, 32).astype(np.uint8)
+    expected = acc ^ gf.multiply_region(7, region)
+    gf.multiply_region_into(7, region, acc)
+    assert np.array_equal(acc, expected)
+
+
+def test_multiply_region_into_constant_zero_is_noop(rng):
+    gf = GF(8)
+    region = rng.integers(0, 256, 32).astype(np.uint8)
+    acc = rng.integers(0, 256, 32).astype(np.uint8)
+    before = acc.copy()
+    gf.multiply_region_into(0, region, acc)
+    assert np.array_equal(acc, before)
+
+
+def test_dot_regions_is_linear_combination(rng):
+    gf = GF(8)
+    regions = [rng.integers(0, 256, 16).astype(np.uint8) for _ in range(4)]
+    coeffs = [3, 0, 1, 250]
+    out = gf.dot_regions(coeffs, regions)
+    expected = np.zeros(16, dtype=np.uint8)
+    for c, r in zip(coeffs, regions):
+        expected ^= gf.multiply_region(c, r)
+    assert np.array_equal(out, expected)
+
+
+def test_dot_regions_validates_lengths(rng):
+    gf = GF(8)
+    regions = [rng.integers(0, 256, 16).astype(np.uint8)]
+    with pytest.raises(ValueError, match="equal length"):
+        gf.dot_regions([1, 2], regions)
+    with pytest.raises(ValueError, match="at least one region"):
+        gf.dot_regions([], [])
+
+
+def test_multiply_region_w16(rng):
+    gf = GF(16)
+    region = rng.integers(0, 65536, 32).astype(np.uint16)
+    c = 0x1234
+    out = gf.multiply_region(c, region)
+    for i in range(0, 32, 7):
+        assert out[i] == gf.multiply(c, int(region[i]))

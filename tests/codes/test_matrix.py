@@ -1,0 +1,188 @@
+"""Matrices over GF(2^w): inversion, generators, MDS structure."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.galois import GF
+from repro.codes.matrix import (
+    cauchy_matrix,
+    identity,
+    invert,
+    is_invertible,
+    matmul,
+    matvec_regions,
+    rs_distribution_matrix,
+    vandermonde,
+)
+
+
+@pytest.fixture(scope="module")
+def gf():
+    return GF(8)
+
+
+# ----------------------------------------------------------------------
+# matmul
+# ----------------------------------------------------------------------
+
+
+def test_matmul_identity(gf, rng=np.random.default_rng(0)):
+    m = rng.integers(0, 256, (5, 5)).astype(np.uint8)
+    assert np.array_equal(matmul(m, identity(5, gf), gf), m)
+    assert np.array_equal(matmul(identity(5, gf), m, gf), m)
+
+
+def test_matmul_shape_mismatch(gf):
+    with pytest.raises(ValueError, match="shape mismatch"):
+        matmul(np.zeros((2, 3)), np.zeros((2, 3)), gf)
+
+
+def test_matmul_associative(gf):
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 256, (3, 4))
+    b = rng.integers(0, 256, (4, 2))
+    c = rng.integers(0, 256, (2, 5))
+    left = matmul(matmul(a, b, gf), c, gf)
+    right = matmul(a, matmul(b, c, gf), gf)
+    assert np.array_equal(left, right)
+
+
+def test_matmul_against_manual_expansion(gf):
+    a = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+    b = np.array([[5, 6], [7, 8]], dtype=np.uint8)
+    out = matmul(a, b, gf)
+    for i in range(2):
+        for j in range(2):
+            want = gf.multiply(int(a[i, 0]), int(b[0, j])) ^ gf.multiply(
+                int(a[i, 1]), int(b[1, j])
+            )
+            assert out[i, j] == want
+
+
+# ----------------------------------------------------------------------
+# inversion
+# ----------------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40)
+def test_invert_roundtrip_random(seed):
+    gf = GF(8)
+    rng = np.random.default_rng(seed)
+    m = rng.integers(0, 256, (4, 4))
+    if not is_invertible(m, gf):
+        return
+    inv = invert(m, gf)
+    assert np.array_equal(matmul(m, inv, gf), identity(4, gf))
+    assert np.array_equal(matmul(inv, m, gf), identity(4, gf))
+
+
+def test_invert_singular_raises(gf):
+    m = np.array([[1, 2], [1, 2]], dtype=np.uint8)  # equal rows
+    with pytest.raises(np.linalg.LinAlgError):
+        invert(m, gf)
+    assert not is_invertible(m, gf)
+
+
+def test_invert_zero_matrix_raises(gf):
+    with pytest.raises(np.linalg.LinAlgError):
+        invert(np.zeros((3, 3), dtype=np.uint8), gf)
+
+
+def test_invert_non_square_raises(gf):
+    with pytest.raises(ValueError, match="non-square"):
+        invert(np.zeros((2, 3), dtype=np.uint8), gf)
+
+
+def test_invert_needs_row_swap(gf):
+    # zero pivot in position (0, 0) forces the row-swap path
+    m = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+    inv = invert(m, gf)
+    assert np.array_equal(matmul(m, inv, gf), identity(2, gf))
+
+
+def test_invert_identity_is_identity(gf):
+    assert np.array_equal(invert(identity(6, gf), gf), identity(6, gf))
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+
+
+def test_vandermonde_entries(gf):
+    v = vandermonde(4, 3, gf)
+    assert v[0, 0] == 1  # 0^0 convention
+    assert np.all(v[0, 1:] == 0)
+    for i in range(1, 4):
+        for j in range(3):
+            assert v[i, j] == gf.power(i, j)
+
+
+def test_vandermonde_too_many_rows(gf):
+    with pytest.raises(ValueError, match="Vandermonde"):
+        vandermonde(gf.size + 1, 2, gf)
+
+
+@pytest.mark.parametrize("k,m", [(3, 2), (5, 3), (6, 4), (10, 4)])
+def test_rs_distribution_matrix_systematic_and_mds(k, m, gf):
+    dist = rs_distribution_matrix(k, m, gf)
+    assert dist.shape == (k + m, k)
+    assert np.array_equal(dist[:k], identity(k, gf))
+    # MDS: every k-subset of rows is invertible
+    for rows in combinations(range(k + m), k):
+        assert is_invertible(dist[list(rows)], gf), rows
+
+
+def test_rs_distribution_matrix_field_too_small():
+    with pytest.raises(ValueError, match="exceeds field size"):
+        rs_distribution_matrix(14, 3, GF(4))
+
+
+@pytest.mark.parametrize("k,m", [(4, 2), (5, 3)])
+def test_cauchy_matrix_every_square_submatrix_invertible(k, m, gf):
+    c = cauchy_matrix(k, m, gf)
+    assert c.shape == (m, k)
+    # all 1x1 submatrices nonzero and all 2x2 invertible
+    assert np.all(c != 0)
+    for r in combinations(range(m), 2):
+        for cols in combinations(range(k), 2):
+            sub = c[np.ix_(r, cols)]
+            assert is_invertible(sub, gf)
+
+
+def test_cauchy_stacked_under_identity_is_mds(gf):
+    k, m = 4, 2
+    dist = np.concatenate([identity(k, gf), cauchy_matrix(k, m, gf)], axis=0)
+    for rows in combinations(range(k + m), k):
+        assert is_invertible(dist[list(rows)], gf)
+
+
+# ----------------------------------------------------------------------
+# region application
+# ----------------------------------------------------------------------
+
+
+def test_matvec_regions_matches_scalar_matmul(gf):
+    rng = np.random.default_rng(3)
+    mat = rng.integers(0, 256, (3, 4)).astype(np.uint8)
+    regions = [rng.integers(0, 256, 8).astype(np.uint8) for _ in range(4)]
+    outs = matvec_regions(mat, regions, gf)
+    # compare column-by-column with scalar matmul
+    stacked = np.stack(regions)  # (4, 8)
+    for col in range(8):
+        vec = stacked[:, col : col + 1]  # (4, 1)
+        want = matmul(mat, vec, gf)[:, 0]
+        got = np.array([o[col] for o in outs])
+        assert np.array_equal(got, want)
+
+
+def test_matvec_regions_validates_count(gf):
+    with pytest.raises(ValueError, match="columns"):
+        matvec_regions(np.zeros((2, 3), dtype=np.uint8), [np.zeros(4, dtype=np.uint8)], gf)

@@ -1,0 +1,99 @@
+"""Property-based geometry sweeps: random (p, n) through every code."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.evenodd import EvenOdd
+from repro.codes.rdp import RDP
+from repro.codes.xcode import XCode
+
+PRIMES_EO = [3, 5, 7, 11, 13]
+PRIMES_X = [5, 7, 11, 13]
+
+
+@st.composite
+def evenodd_case(draw):
+    p = draw(st.sampled_from(PRIMES_EO))
+    n = draw(st.integers(1, p))
+    seed = draw(st.integers(0, 2**31))
+    return p, n, seed
+
+
+@st.composite
+def rdp_case(draw):
+    p = draw(st.sampled_from(PRIMES_EO))
+    n = draw(st.integers(1, p - 1))
+    seed = draw(st.integers(0, 2**31))
+    return p, n, seed
+
+
+def _erase_two(rng, count):
+    if count < 2:
+        return [0]
+    return sorted(rng.choice(count, size=2, replace=False).tolist())
+
+
+@given(case=evenodd_case())
+@settings(max_examples=40, deadline=None)
+def test_evenodd_random_geometry_roundtrip(case):
+    p, n, seed = case
+    rng = np.random.default_rng(seed)
+    code = EvenOdd(p, n)
+    data = rng.integers(0, 256, (p - 1, n, 4), dtype=np.uint8)
+    P, Q = code.encode(data)
+    devs = [data[:, j].copy() for j in range(n)]
+    lost = _erase_two(rng, n + 2)
+    cols = [None if j in lost else devs[j] for j in range(n)]
+    rp = None if n in lost else P
+    dq = None if n + 1 in lost else Q
+    d2, p2, q2 = code.decode(cols, rp, dq)
+    assert np.array_equal(d2, data)
+    assert np.array_equal(p2, P) and np.array_equal(q2, Q)
+
+
+@given(case=rdp_case())
+@settings(max_examples=40, deadline=None)
+def test_rdp_random_geometry_roundtrip(case):
+    p, n, seed = case
+    rng = np.random.default_rng(seed)
+    code = RDP(p, n)
+    data = rng.integers(0, 256, (p - 1, n, 4), dtype=np.uint8)
+    P, Q = code.encode(data)
+    devs = [data[:, j].copy() for j in range(n)]
+    lost = _erase_two(rng, n + 2)
+    cols = [None if j in lost else devs[j] for j in range(n)]
+    rp = None if n in lost else P
+    dq = None if n + 1 in lost else Q
+    d2, _, _ = code.decode(cols, rp, dq)
+    assert np.array_equal(d2, data)
+
+
+@given(p=st.sampled_from(PRIMES_X), seed=st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_xcode_random_geometry_roundtrip(p, seed):
+    rng = np.random.default_rng(seed)
+    code = XCode(p)
+    data = rng.integers(0, 256, (p - 2, p, 4), dtype=np.uint8)
+    cols = code.full_columns(data)
+    lost = _erase_two(rng, p)
+    got = code.decode_data([None if j in lost else cols[j] for j in range(p)])
+    assert np.array_equal(got, data)
+
+
+@given(case=evenodd_case())
+@settings(max_examples=25, deadline=None)
+def test_evenodd_parity_linear_in_data(case):
+    """Encoding is GF(2)-linear for random geometries too."""
+    p, n, seed = case
+    rng = np.random.default_rng(seed)
+    code = EvenOdd(p, n)
+    a = rng.integers(0, 256, (p - 1, n, 4), dtype=np.uint8)
+    b = rng.integers(0, 256, (p - 1, n, 4), dtype=np.uint8)
+    pa, qa = code.encode(a)
+    pb, qb = code.encode(b)
+    pab, qab = code.encode(a ^ b)
+    assert np.array_equal(pa ^ pb, pab)
+    assert np.array_equal(qa ^ qb, qab)

@@ -1,0 +1,114 @@
+"""Reed-Solomon: systematic encode, decode under every erasure pattern."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.reed_solomon import RSCode
+
+
+def _random_data(rng, k, size=64):
+    return [rng.integers(0, 256, size).astype(np.uint8) for _ in range(k)]
+
+
+@pytest.mark.parametrize("k,m,w", [(3, 2, 8), (5, 3, 8), (4, 2, 16), (10, 4, 8)])
+def test_decode_every_erasure_pattern(k, m, w, rng):
+    code = RSCode(k, m, w)
+    data = _random_data(rng, k)
+    devices = data + code.encode(data)
+    for lost in combinations(range(k + m), m):
+        got = code.decode_all([None if i in lost else devices[i] for i in range(k + m)])
+        for i in range(k + m):
+            assert np.array_equal(got[i], devices[i]), (lost, i)
+
+
+def test_encode_is_systematic(rng):
+    code = RSCode(4, 2)
+    data = _random_data(rng, 4)
+    devices = code.decode_all(data + [None, None])
+    for i in range(4):
+        assert np.array_equal(devices[i], data[i])
+
+
+def test_decode_with_no_erasures_returns_data(rng):
+    code = RSCode(3, 2)
+    data = _random_data(rng, 3)
+    coding = code.encode(data)
+    out = code.decode(data + coding)
+    for i in range(3):
+        assert np.array_equal(out[i], data[i])
+
+
+def test_too_many_erasures_rejected(rng):
+    code = RSCode(3, 2)
+    data = _random_data(rng, 3)
+    devices = data + code.encode(data)
+    broken = [None, None, None, devices[3], devices[4]]
+    with pytest.raises(ValueError, match="exceed tolerance"):
+        code.decode(broken)
+
+
+def test_wrong_slot_count_rejected(rng):
+    code = RSCode(3, 2)
+    with pytest.raises(ValueError, match="region slots"):
+        code.decode([None] * 4)
+    with pytest.raises(ValueError, match="data regions"):
+        code.encode(_random_data(rng, 2))
+
+
+def test_unequal_region_lengths_rejected(rng):
+    code = RSCode(2, 1)
+    data = [np.zeros(8, dtype=np.uint8), np.zeros(16, dtype=np.uint8)]
+    with pytest.raises(ValueError, match="equal length"):
+        code.encode(data)
+
+
+def test_w16_requires_even_length():
+    code = RSCode(2, 1, w=16)
+    with pytest.raises(ValueError, match="even"):
+        code.encode([np.zeros(7, dtype=np.uint8), np.zeros(7, dtype=np.uint8)])
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError, match="k >= 1"):
+        RSCode(0, 2)
+    with pytest.raises(ValueError, match="exceeds field size"):
+        RSCode(250, 10, w=8)
+
+
+def test_coding_is_deterministic(rng):
+    code = RSCode(4, 2)
+    data = _random_data(rng, 4)
+    assert all(
+        np.array_equal(a, b) for a, b in zip(code.encode(data), code.encode(data))
+    )
+
+
+def test_encoding_linear_in_data(rng):
+    """RS over GF(2^w) is linear: code(a XOR b) == code(a) XOR code(b)."""
+    code = RSCode(3, 2)
+    a = _random_data(rng, 3)
+    b = _random_data(rng, 3)
+    ab = [x ^ y for x, y in zip(a, b)]
+    ca, cb, cab = code.encode(a), code.encode(b), code.encode(ab)
+    for x, y, z in zip(ca, cb, cab):
+        assert np.array_equal(x ^ y, z)
+
+
+@given(seed=st.integers(0, 2**31), lost_seed=st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_random_roundtrips_property(seed, lost_seed):
+    rng = np.random.default_rng(seed)
+    code = RSCode(5, 3)
+    data = _random_data(rng, 5, size=32)
+    devices = data + code.encode(data)
+    lost_rng = np.random.default_rng(lost_seed)
+    lost = set(lost_rng.choice(8, size=3, replace=False).tolist())
+    got = code.decode_all([None if i in lost else devices[i] for i in range(8)])
+    for i in range(8):
+        assert np.array_equal(got[i], devices[i])

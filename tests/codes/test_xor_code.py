@@ -1,0 +1,64 @@
+"""Single XOR parity: the RAID 5 / parity-disk kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codes.xor_code import parity_region, recover_from_parity, verify_parity, xor_fold
+
+region = arrays(np.uint8, 16, elements=st.integers(0, 255))
+
+
+def test_xor_fold_single_region_copies(rng):
+    r = rng.integers(0, 256, 8).astype(np.uint8)
+    out = xor_fold([r])
+    assert np.array_equal(out, r)
+    out[0] ^= 0xFF
+    assert not np.array_equal(out, r)  # result is a copy, not a view
+
+
+def test_xor_fold_empty_raises():
+    with pytest.raises(ValueError, match="at least one region"):
+        xor_fold([])
+
+
+def test_xor_fold_shape_mismatch(rng):
+    a = rng.integers(0, 256, 8).astype(np.uint8)
+    b = rng.integers(0, 256, 9).astype(np.uint8)
+    with pytest.raises(ValueError, match="shape mismatch"):
+        xor_fold([a, b])
+
+
+@given(regions=st.lists(region, min_size=2, max_size=6))
+@settings(max_examples=50)
+def test_parity_enables_recovery_of_any_region(regions):
+    parity = parity_region(regions)
+    for lost in range(len(regions)):
+        survivors = [r for i, r in enumerate(regions) if i != lost]
+        recovered = recover_from_parity(survivors, parity)
+        assert np.array_equal(recovered, regions[lost])
+
+
+@given(regions=st.lists(region, min_size=1, max_size=5))
+@settings(max_examples=30)
+def test_verify_parity_accepts_true_parity(regions):
+    assert verify_parity(regions, parity_region(regions))
+
+
+def test_verify_parity_rejects_corruption(rng):
+    regions = [rng.integers(0, 256, 8).astype(np.uint8) for _ in range(3)]
+    parity = parity_region(regions)
+    parity[0] ^= 1
+    assert not verify_parity(regions, parity)
+
+
+def test_recover_from_parity_with_no_survivors(rng):
+    parity = rng.integers(0, 256, 8).astype(np.uint8)
+    out = recover_from_parity([], parity)
+    assert np.array_equal(out, parity)
+    out[0] ^= 1
+    assert not np.array_equal(out, parity)  # copy semantics

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disksim.disk import DiskParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests needing different streams reseed locally."""
+    return np.random.default_rng(20120913)
+
+
+@pytest.fixture
+def savvio() -> DiskParameters:
+    return DiskParameters.savvio_10k3()
+
+
+@pytest.fixture
+def ideal_disk() -> DiskParameters:
+    return DiskParameters.ideal()
+
+
+def slow_gf_multiply(a: int, b: int, poly: int, w: int) -> int:
+    """Bitwise carry-less multiply mod the primitive polynomial.
+
+    The independent reference the table-driven field is checked against.
+    """
+    r = 0
+    while b:
+        if b & 1:
+            r ^= a
+        b >>= 1
+        a <<= 1
+        if a & (1 << w):
+            a ^= poly
+    return r

@@ -1,0 +1,169 @@
+"""Mirror layouts: content maps, write plans, reconstruction accesses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arrangement import IteratedArrangement, ShiftedArrangement
+from repro.core.errors import LayoutError, UnrecoverableFailureError
+from repro.core.layouts import MirrorLayout, shifted_mirror, traditional_mirror
+from repro.core.reconstruction import RecoveryMethod
+
+
+# ----------------------------------------------------------------------
+# construction and content
+# ----------------------------------------------------------------------
+
+
+def test_names_and_counts():
+    assert traditional_mirror(4).name == "mirror"
+    assert shifted_mirror(4).name == "shifted-mirror"
+    lay = shifted_mirror(4)
+    assert lay.n_disks == 8
+    assert lay.rows == 4
+    assert lay.fault_tolerance == 1
+
+
+def test_arrangement_size_mismatch_rejected():
+    with pytest.raises(LayoutError, match="arrangement is for"):
+        MirrorLayout(4, ShiftedArrangement(5))
+
+
+@pytest.mark.parametrize("builder", [traditional_mirror, shifted_mirror])
+def test_content_map_is_complete_and_consistent(builder):
+    lay = builder(5)
+    data_seen = set()
+    replica_seen = set()
+    for disk in range(lay.n_disks):
+        for row in range(lay.rows):
+            c = lay.content(disk, row)
+            if c.kind == "data":
+                assert lay.data_cell(c.i, c.j) == (disk, row)
+                data_seen.add((c.i, c.j))
+            else:
+                assert c.kind == "replica"
+                assert lay.mirror_cell(c.i, c.j) == (disk, row)
+                replica_seen.add((c.i, c.j))
+    all_cells = {(i, j) for i in range(5) for j in range(5)}
+    assert data_seen == all_cells
+    assert replica_seen == all_cells
+
+
+def test_replica_cells_point_into_mirror_array():
+    lay = shifted_mirror(4)
+    for i in range(4):
+        for j in range(4):
+            (disk, row), = lay.replica_cells(i, j)
+            assert 4 <= disk < 8
+            c = lay.content(disk, row)
+            assert (c.kind, c.i, c.j) == ("replica", i, j)
+
+
+def test_storage_efficiency_is_half():
+    assert traditional_mirror(3).storage_efficiency() == 0.5
+    assert shifted_mirror(7).storage_efficiency() == 0.5
+
+
+# ----------------------------------------------------------------------
+# write plans (§VI-C)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("builder", [traditional_mirror, shifted_mirror])
+def test_small_write_is_one_access_two_elements(builder):
+    lay = builder(5)
+    plan = lay.write_plan([(2, 3)])
+    assert plan.total_elements_written == 2  # data + replica
+    assert plan.num_write_accesses == 1  # on distinct disks
+    assert plan.total_elements_read == 0  # no parity to maintain
+
+
+@pytest.mark.parametrize("builder", [traditional_mirror, shifted_mirror])
+def test_large_write_is_one_access(builder):
+    """Property 3 in action: a full data row writes 2n elements on 2n
+    distinct disks — one parallel write access."""
+    lay = builder(6)
+    for j in range(6):
+        plan = lay.large_write_plan(j)
+        assert plan.total_elements_written == 12
+        assert plan.num_write_accesses == 1
+
+
+def test_large_write_needs_more_accesses_without_p3():
+    """The §VI-E iterate-3 arrangement violates P3 maximally at n=3:
+    each data row's replicas collapse onto a single mirror disk, so a
+    large write degenerates to n sequential accesses — exactly the
+    pathology Property 3 exists to rule out."""
+    lay = MirrorLayout(3, IteratedArrangement(3, 3))
+    for j in range(3):
+        assert lay.large_write_plan(j).num_write_accesses == 3
+
+
+def test_full_stripe_write_costs_n_accesses():
+    lay = shifted_mirror(4)
+    plan = lay.write_plan([(i, j) for i in range(4) for j in range(4)])
+    assert plan.num_write_accesses == 4  # n rows, each disk written n times
+
+
+# ----------------------------------------------------------------------
+# reconstruction plans (§II-B vs §IV-B)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+def test_traditional_needs_n_accesses_shifted_needs_one(n):
+    trad, shif = traditional_mirror(n), shifted_mirror(n)
+    for f in range(2 * n):
+        assert trad.reconstruction_plan([f]).num_read_accesses == n
+        assert shif.reconstruction_plan([f]).num_read_accesses == 1
+
+
+def test_traditional_reads_all_from_one_disk():
+    lay = traditional_mirror(5)
+    plan = lay.reconstruction_plan([2])
+    assert set(plan.reads) == {5 + 2}
+    assert plan.reads[7] == list(range(5))
+
+
+def test_shifted_reads_one_from_each_disk_of_other_array():
+    lay = shifted_mirror(5)
+    plan = lay.reconstruction_plan([2])  # data disk
+    assert set(plan.reads) == set(range(5, 10))
+    assert all(len(rows) == 1 for rows in plan.reads.values())
+    plan = lay.reconstruction_plan([7])  # mirror disk
+    assert set(plan.reads) == set(range(5))
+
+
+@pytest.mark.parametrize("builder", [traditional_mirror, shifted_mirror])
+def test_all_recovery_steps_are_copies(builder):
+    lay = builder(4)
+    for f in range(8):
+        plan = lay.reconstruction_plan([f])
+        assert len(plan.steps) == 4
+        assert all(s.method is RecoveryMethod.COPY for s in plan.steps)
+        assert sorted(s.target for s in plan.steps) == [(f, r) for r in range(4)]
+
+
+def test_double_failure_exceeds_tolerance():
+    lay = shifted_mirror(4)
+    with pytest.raises(UnrecoverableFailureError):
+        lay.reconstruction_plan([0, 1])
+
+
+def test_unknown_disk_rejected():
+    with pytest.raises(LayoutError):
+        shifted_mirror(3).reconstruction_plan([6])
+
+
+def test_empty_failure_set_gives_empty_plan():
+    plan = shifted_mirror(3).reconstruction_plan([])
+    assert plan.num_read_accesses == 0
+    assert not plan.steps
+
+
+def test_plans_validate_internally():
+    for builder in (traditional_mirror, shifted_mirror):
+        lay = builder(5)
+        for f in range(lay.n_disks):
+            plan = lay.reconstruction_plan([f])
+            plan.validate(lay.n_disks, lay.rows)  # raises on inconsistency

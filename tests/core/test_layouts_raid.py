@@ -1,0 +1,183 @@
+"""RAID 5 / RAID 6 baseline layouts: plans and the shorten geometry."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.errors import LayoutError, UnrecoverableFailureError
+from repro.core.layouts import RAID5Layout, RAID6Layout
+from repro.core.reconstruction import RecoveryMethod
+
+
+# ----------------------------------------------------------------------
+# RAID 5
+# ----------------------------------------------------------------------
+
+
+def test_raid5_counts():
+    lay = RAID5Layout(5)
+    assert lay.n_disks == 6
+    assert lay.parity_disk == 5
+    assert lay.fault_tolerance == 1
+    assert lay.storage_efficiency() == 5 / 6
+
+
+def test_raid5_needs_two_disks():
+    with pytest.raises(LayoutError):
+        RAID5Layout(1)
+
+
+def test_raid5_small_write_rmw():
+    lay = RAID5Layout(4)
+    plan = lay.write_plan([(1, 2)])
+    assert plan.total_elements_written == 2  # data + parity
+    assert plan.num_write_accesses == 1
+    assert plan.total_elements_read == 2  # old data + old parity
+
+
+def test_raid5_full_row_write_no_reads():
+    lay = RAID5Layout(4)
+    plan = lay.large_write_plan(0)
+    assert plan.total_elements_read == 0
+    assert plan.num_write_accesses == 1
+
+
+def test_raid5_reconstruction_reads_everything():
+    """The paper's §II-C criticism: every intact element must be read."""
+    n = 5
+    lay = RAID5Layout(n)
+    for f in range(n):
+        plan = lay.reconstruction_plan([f])
+        assert plan.num_read_accesses == n
+        assert plan.total_elements_read == n * n  # (n-1) data cols + parity col
+        assert all(s.method is RecoveryMethod.XOR for s in plan.steps)
+    parity_plan = lay.reconstruction_plan([n])
+    assert all(s.method is RecoveryMethod.RECOMPUTE for s in parity_plan.steps)
+
+
+def test_raid5_double_failure_rejected():
+    with pytest.raises(UnrecoverableFailureError):
+        RAID5Layout(4).reconstruction_plan([0, 1])
+
+
+# ----------------------------------------------------------------------
+# RAID 6 with the shorten method
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "n,code,p",
+    [(4, "evenodd", 5), (5, "evenodd", 5), (6, "evenodd", 7), (4, "rdp", 5), (6, "rdp", 7), (7, "rdp", 11)],
+)
+def test_shorten_prime_selection(n, code, p):
+    lay = RAID6Layout(n, code)
+    assert lay.p == p
+    assert lay.rows == p - 1
+
+
+def test_raid6_counts_and_efficiency():
+    lay = RAID6Layout(6, "rdp")
+    assert lay.n_disks == 8
+    assert lay.p_disk == 6 and lay.q_disk == 7
+    assert lay.storage_efficiency() == 6 / 8
+    assert lay.fault_tolerance == 2
+
+
+def test_raid6_unknown_code_rejected():
+    with pytest.raises(ValueError, match="unknown RAID 6 code"):
+        RAID6Layout(4, "pcode")
+
+
+def test_raid6_single_data_failure_uses_row_parity():
+    lay = RAID6Layout(5, "rdp")
+    plan = lay.reconstruction_plan([2])
+    assert all(s.method is RecoveryMethod.XOR for s in plan.steps)
+    assert lay.q_disk not in plan.reads  # Q untouched on the RAID 5 path
+    assert plan.num_read_accesses == lay.rows
+
+
+@pytest.mark.parametrize("code", ["evenodd", "rdp"])
+def test_raid6_double_failure_reads_all_intact_elements(code):
+    """The core criticism behind Fig. 7's RAID 6 curve."""
+    lay = RAID6Layout(5, code)
+    for failed in combinations(range(lay.n_disks), 2):
+        plan = lay.reconstruction_plan(failed)
+        assert plan.num_read_accesses == lay.rows, failed
+        assert plan.total_elements_read == (lay.n_disks - 2) * lay.rows, failed
+
+
+def test_raid6_small_write_touches_both_parities():
+    lay = RAID6Layout(5, "rdp")
+    plan = lay.write_plan([(1, 2)])
+    write_disks = set(plan.writes)
+    assert lay.p_disk in write_disks and lay.q_disk in write_disks
+    # not update-optimal: strictly more than the mirror-parity 3 writes
+    # (RDP dirties the element's diagonal AND the row-parity diagonal)
+    assert plan.total_elements_written == 4
+
+
+def test_rdp_write_q_fanout():
+    """RDP: a[i, j] dirties diagonals <i+j>_p and <j-1>_p (P cascade),
+    dropping whichever equals the parity-less diagonal p-1."""
+    lay = RAID6Layout(4, "rdp")  # p = 5
+    # (1, 3): own diagonal 4 == p-1 drops, P cascade hits <3-1> = 2
+    assert lay.q_rows_updated(1, 3) == [2]
+    # (0, 0): own diagonal 0, P cascade <0-1> = 4 == p-1 drops
+    assert lay.q_rows_updated(0, 0) == [0]
+    # (1, 1): own 2 and cascade 0, both kept
+    assert lay.q_rows_updated(1, 1) == [0, 2]
+
+
+def test_evenodd_adjuster_write_cascades_to_all_q():
+    """EVENODD: touching the special diagonal rewrites every Q element
+    — the worst-case update cost the paper's §II-C2 refers to."""
+    lay = RAID6Layout(5, "evenodd")  # p = 5
+    # (i + j) % 5 == 4: e.g. i=1, j=3
+    assert lay.q_rows_updated(1, 3) == [0, 1, 2, 3]
+    assert lay.q_rows_updated(0, 0) == [0]
+    plan = lay.write_plan([(1, 3)])
+    assert len(plan.writes[lay.q_disk]) == lay.rows
+
+
+def test_raid6_full_stripe_write_no_reads():
+    lay = RAID6Layout(4, "rdp")
+    cells = [(i, j) for i in range(4) for j in range(lay.rows)]
+    plan = lay.write_plan(cells)
+    assert plan.total_elements_read == 0
+
+
+def test_raid6_row_out_of_range_rejected():
+    lay = RAID6Layout(4, "rdp")
+    with pytest.raises(LayoutError, match="outside stripe"):
+        lay.write_plan([(0, lay.rows)])
+
+
+def test_raid6_triple_failure_rejected():
+    with pytest.raises(UnrecoverableFailureError):
+        RAID6Layout(5, "rdp").reconstruction_plan([0, 1, 2])
+
+
+@pytest.mark.parametrize("code", ["evenodd", "rdp"])
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_q_rows_updated_matches_actual_code_diff(code, n):
+    """Ground truth: flip one element, re-encode, and diff the Q column
+    — the dirtied rows must be exactly q_rows_updated."""
+    import numpy as np
+
+    from repro.codes.evenodd import EvenOdd
+    from repro.codes.rdp import RDP
+
+    lay = RAID6Layout(n, code)
+    impl = EvenOdd(lay.p, n) if code == "evenodd" else RDP(lay.p, n)
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 256, (lay.rows, n, 4), dtype=np.uint8)
+    _, q_before = impl.encode(data)
+    for i in range(n):
+        for j in range(lay.rows):
+            mutated = data.copy()
+            mutated[j, i] ^= 0xA5
+            _, q_after = impl.encode(mutated)
+            dirty = [r for r in range(lay.rows) if not np.array_equal(q_before[r], q_after[r])]
+            assert dirty == lay.q_rows_updated(i, j), (code, n, i, j)

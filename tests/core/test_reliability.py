@@ -1,0 +1,128 @@
+"""Reliability models: Markov MTTDL closed forms and the rebuild bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reliability import (
+    ReliabilityComparison,
+    compare_architectures,
+    mttdl_double_fault,
+    mttdl_single_fault,
+    repair_time_hours,
+)
+
+MTTF = 1.0e6  # hours, a typical datasheet figure
+
+
+# ----------------------------------------------------------------------
+# single-fault model
+# ----------------------------------------------------------------------
+
+
+def test_single_fault_matches_classic_approximation():
+    """For mu >> lambda, MTTDL ~= MTTF^2 / (n(n-1) * repair)."""
+    n, repair = 10, 10.0
+    exact = mttdl_single_fault(n, MTTF, repair)
+    approx = MTTF**2 / (n * (n - 1) * repair)
+    assert exact == pytest.approx(approx, rel=0.01)
+
+
+def test_single_fault_scales_inverse_with_repair():
+    a = mttdl_single_fault(8, MTTF, 20.0)
+    b = mttdl_single_fault(8, MTTF, 5.0)
+    assert b / a == pytest.approx(4.0, rel=0.01)
+
+
+def test_single_fault_decreases_with_disks():
+    vals = [mttdl_single_fault(n, MTTF, 10.0) for n in (4, 8, 16)]
+    assert vals[0] > vals[1] > vals[2]
+
+
+def test_single_fault_validates_inputs():
+    with pytest.raises(ValueError):
+        mttdl_single_fault(1, MTTF, 10)
+    with pytest.raises(ValueError):
+        mttdl_single_fault(4, -1, 10)
+    with pytest.raises(ValueError):
+        mttdl_single_fault(4, MTTF, 0)
+
+
+# ----------------------------------------------------------------------
+# double-fault model
+# ----------------------------------------------------------------------
+
+
+def test_double_fault_matches_classic_approximation():
+    """For mu >> lambda, MTTDL ~= MTTF^3 / (n(n-1)(n-2) repair^2)."""
+    n, repair = 11, 10.0
+    exact = mttdl_double_fault(n, MTTF, repair)
+    approx = MTTF**3 / (n * (n - 1) * (n - 2) * repair**2)
+    assert exact == pytest.approx(approx, rel=0.02)
+
+
+def test_double_fault_scales_inverse_square_with_repair():
+    a = mttdl_double_fault(9, MTTF, 20.0)
+    b = mttdl_double_fault(9, MTTF, 5.0)
+    assert b / a == pytest.approx(16.0, rel=0.02)
+
+
+def test_double_fault_vastly_exceeds_single_fault():
+    assert mttdl_double_fault(10, MTTF, 10.0) > 1e3 * mttdl_single_fault(10, MTTF, 10.0)
+
+
+def test_double_fault_validates_inputs():
+    with pytest.raises(ValueError):
+        mttdl_double_fault(2, MTTF, 10)
+
+
+# ----------------------------------------------------------------------
+# rebuild-throughput bridge
+# ----------------------------------------------------------------------
+
+
+def test_repair_time_from_throughput():
+    # 300 GB at 100 MiB/s ~= 0.795 h
+    hours = repair_time_hours(300e9, 100.0)
+    assert hours == pytest.approx(300e9 / (100 * 1024 * 1024) / 3600, rel=1e-9)
+
+
+def test_repair_time_rejects_nonpositive_throughput():
+    with pytest.raises(ValueError):
+        repair_time_hours(300e9, 0.0)
+
+
+def test_comparison_single_fault_gain_tracks_throughput_gain():
+    """Mirror method: ~n x faster rebuild -> ~n x the MTTDL."""
+    cmp_ = compare_architectures(
+        n_disks=10, traditional_mbps=54.8, shifted_mbps=174.0, fault_tolerance=1
+    )
+    assert isinstance(cmp_, ReliabilityComparison)
+    assert cmp_.improvement == pytest.approx(174.0 / 54.8, rel=0.02)
+
+
+def test_comparison_double_fault_gain_compounds():
+    """Mirror+parity: MTTDL ~ 1/repair^2, so the gain is ~ratio^2."""
+    ratio = 294.5 / 94.4  # the measured Fig. 9(b) point at n=7
+    cmp_ = compare_architectures(
+        n_disks=15, traditional_mbps=94.4, shifted_mbps=294.5, fault_tolerance=2
+    )
+    assert cmp_.improvement == pytest.approx(ratio**2, rel=0.05)
+
+
+def test_comparison_uses_fig9_measurements_end_to_end():
+    """The full bridge: simulate a rebuild, then translate to MTTDL."""
+    from repro.core.layouts import shifted_mirror, traditional_mirror
+    from repro.raidsim.availability import measure_case
+
+    n = 4
+    trad = measure_case(traditional_mirror(n), (0,), n_stripes=8)
+    shif = measure_case(shifted_mirror(n), (0,), n_stripes=8)
+    cmp_ = compare_architectures(
+        n_disks=2 * n,
+        traditional_mbps=trad.read_throughput_mbps,
+        shifted_mbps=shif.read_throughput_mbps,
+        fault_tolerance=1,
+    )
+    assert cmp_.improvement > 2.0
+    assert cmp_.repair_hours_shifted < cmp_.repair_hours_traditional

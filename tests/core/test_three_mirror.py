@@ -1,0 +1,116 @@
+"""Three-mirror layout: the paper's §VIII future-work extension."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.arrangement import PermutationArrangement, ShiftedArrangement
+from repro.core.errors import UnrecoverableFailureError
+from repro.core.layouts import ThreeMirrorLayout
+from repro.core.reconstruction import RecoveryMethod
+
+
+def reverse_shift(n: int) -> PermutationArrangement:
+    """The inverse-shift twin: a[i, j] -> (<i - j>_n, i)."""
+    return PermutationArrangement(
+        n, {(i, j): ((i - j) % n, i) for i in range(n) for j in range(n)}
+    )
+
+
+def shifted_three_mirror(n: int) -> ThreeMirrorLayout:
+    return ThreeMirrorLayout(n, ShiftedArrangement(n), reverse_shift(n))
+
+
+def test_counts():
+    lay = shifted_three_mirror(4)
+    assert lay.n_disks == 12
+    assert lay.fault_tolerance == 2
+    assert lay.storage_efficiency() == pytest.approx(1 / 3)
+    assert lay.name == "shifted-three-mirror"
+    assert ThreeMirrorLayout(4).name == "three-mirror"
+
+
+def test_replica_cells_one_per_mirror_array():
+    lay = shifted_three_mirror(3)
+    for i in range(3):
+        for j in range(3):
+            cells = lay.replica_cells(i, j)
+            assert len(cells) == 2
+            assert 3 <= cells[0][0] < 6
+            assert 6 <= cells[1][0] < 9
+
+
+def test_small_write_three_copies_one_access():
+    lay = shifted_three_mirror(5)
+    plan = lay.write_plan([(2, 3)])
+    assert plan.total_elements_written == 3
+    assert plan.num_write_accesses == 1
+
+
+def test_large_write_one_access():
+    """Both shifted arrangements satisfy P3, so a row write is still
+    one parallel access across all three arrays."""
+    lay = shifted_three_mirror(5)
+    assert lay.large_write_plan(2).num_write_accesses == 1
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_every_double_failure_recoverable_with_copies(n):
+    lay = shifted_three_mirror(n)
+    for failed in combinations(range(lay.n_disks), 2):
+        plan = lay.reconstruction_plan(failed)
+        plan.validate(lay.n_disks, lay.rows)
+        assert all(s.method is RecoveryMethod.COPY for s in plan.steps)
+        targets = {s.target for s in plan.steps}
+        assert targets == {(f, r) for f in failed for r in range(n)}
+
+
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_shifted_three_mirror_single_failure_one_access(n):
+    """Both arrangements spread any disk's replicas across a full
+    array, so single-disk recovery stays one parallel access."""
+    lay = shifted_three_mirror(n)
+    for f in range(lay.n_disks):
+        assert lay.reconstruction_plan([f]).num_read_accesses == 1
+
+
+@pytest.mark.parametrize("n", [3, 5])
+def test_traditional_three_mirror_single_failure_splits_two_disks(n):
+    """With two verbatim replicas, the best the traditional layout can
+    do is split the column between the two replica disks: ceil(n/2)
+    accesses — still n/2 times worse than the shifted variant's one."""
+    lay = ThreeMirrorLayout(n)
+    for f in range(lay.n_disks):
+        plan = lay.reconstruction_plan([f])
+        assert plan.num_read_accesses == (n + 1) // 2
+        # and only two disks ever carry the load
+        assert len(plan.reads) <= 2
+
+
+def test_double_failure_balances_load_across_arrays():
+    """With two failed disks the planner spreads copy sources so no
+    surviving disk reads more than a balanced share."""
+    n = 5
+    lay = shifted_three_mirror(n)
+    for failed in combinations(range(lay.n_disks), 2):
+        plan = lay.reconstruction_plan(failed)
+        assert plan.num_read_accesses <= 2, failed
+
+
+def test_triple_failure_rejected():
+    with pytest.raises(UnrecoverableFailureError):
+        shifted_three_mirror(3).reconstruction_plan([0, 1, 2])
+
+
+def test_content_map_covers_both_mirror_arrays():
+    lay = shifted_three_mirror(3)
+    replicas = {}
+    for disk in range(lay.n_disks):
+        for row in range(3):
+            c = lay.content(disk, row)
+            if c.kind == "replica":
+                replicas.setdefault((c.i, c.j), []).append(disk)
+    assert all(len(v) == 2 for v in replicas.values())
+    assert len(replicas) == 9

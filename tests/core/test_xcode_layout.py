@@ -1,0 +1,111 @@
+"""XCodeLayout: the vertical RAID 6 architecture end to end."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import LayoutError, UnrecoverableFailureError
+from repro.core.layouts import XCodeLayout
+from repro.raidsim.controller import RaidController
+from repro.workloads.generator import random_large_writes
+
+
+def test_counts():
+    lay = XCodeLayout(7)
+    assert lay.n_disks == 7
+    assert lay.rows == 7
+    assert lay.data_rows == 5
+    assert lay.fault_tolerance == 2
+    assert lay.storage_efficiency() == pytest.approx(5 / 7)
+    assert lay.name == "xcode"
+
+
+def test_requires_prime():
+    with pytest.raises(ValueError):
+        XCodeLayout(6)
+
+
+def test_content_kinds():
+    lay = XCodeLayout(5)
+    assert lay.content(2, 0).kind == "data"
+    assert lay.content(2, 3).kind == "parity"
+    assert lay.content(2, 4).kind == "q_parity"
+
+
+def test_small_write_is_update_optimal():
+    """3 elements on 3 distinct disks, one access — the property the
+    paper says horizontal RAID 6 cannot have."""
+    lay = XCodeLayout(7)
+    for i in range(7):
+        for j in range(5):
+            plan = lay.write_plan([(i, j)])
+            assert plan.total_elements_written == 3, (i, j)
+            assert plan.num_write_accesses == 1, (i, j)
+            assert len(plan.writes) == 3  # three distinct disks
+
+
+def test_data_row_bounds():
+    lay = XCodeLayout(5)
+    with pytest.raises(LayoutError):
+        lay.data_cell(0, 3)  # rows 3, 4 are parity
+
+
+def test_reconstruction_reads_all_intact_columns():
+    lay = XCodeLayout(7)
+    for failed in [(0,), (3,), (0, 4)]:
+        plan = lay.reconstruction_plan(failed)
+        assert plan.num_read_accesses == lay.rows
+        assert plan.total_elements_read == (7 - len(failed)) * 7
+
+
+def test_triple_failure_rejected():
+    with pytest.raises(UnrecoverableFailureError):
+        XCodeLayout(5).reconstruction_plan([0, 1, 2])
+
+
+# ----------------------------------------------------------------------
+# through the controller
+# ----------------------------------------------------------------------
+
+
+def _ctrl(p=5, **kw):
+    kw.setdefault("n_stripes", 3)
+    kw.setdefault("payload_bytes", 8)
+    return RaidController(XCodeLayout(p), **kw)
+
+
+def test_controller_content_verifies():
+    assert _ctrl().verify_redundancy()
+
+
+def test_rebuild_every_single_and_double_failure():
+    p = 5
+    for failed in [(j,) for j in range(p)] + list(combinations(range(p), 2)):
+        res = _ctrl(p).rebuild(failed)
+        assert res.verified, failed
+
+
+def test_write_workload_preserves_xcode_parity():
+    ctrl = _ctrl(5)
+    rng = np.random.default_rng(4)
+    # data rows only: generator produces j < n, clamp to data rows
+    ops = []
+    for op in random_large_writes(5, 3, n_ops=20, rng=rng):
+        cells = tuple((i, j % 3) for i, j in op.elements)
+        ops.append(type(op)(op.stripe, cells))
+    ctrl.run_write_workload(ops, rng=rng)
+    assert ctrl.verify_redundancy()
+
+
+def test_write_then_double_failure_roundtrip():
+    ctrl = _ctrl(7, n_stripes=2)
+    rng = np.random.default_rng(9)
+    from repro.workloads.generator import WriteOp
+
+    ctrl.run_write_workload([WriteOp(0, ((0, 0), (3, 2)))], rng=rng)
+    res = ctrl.rebuild([0, 3])
+    assert res.verified
+    assert ctrl.verify_redundancy()

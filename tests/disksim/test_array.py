@@ -1,0 +1,118 @@
+"""ElementArray: element addressing, coalescing, rounds, group callbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disksim.array import DEFAULT_ELEMENT_SIZE, ElementArray
+from repro.disksim.disk import DiskParameters
+from repro.disksim.request import IOKind
+
+_MB = 1024 * 1024
+
+
+def _ideal(n=3, element=4 * _MB):
+    return ElementArray(n, element, DiskParameters.ideal())
+
+
+def test_default_element_size_is_4mb():
+    assert DEFAULT_ELEMENT_SIZE == 4 * _MB
+
+
+def test_invalid_element_size_rejected():
+    with pytest.raises(ValueError):
+        ElementArray(2, 0)
+
+
+def test_element_request_addressing():
+    arr = _ideal()
+    r = arr.element_request(1, 3, IOKind.READ, n_elements=2)
+    assert r.offset == 3 * 4 * _MB
+    assert r.size == 8 * _MB
+    with pytest.raises(ValueError):
+        arr.element_request(0, -1, IOKind.READ)
+
+
+def test_submit_elements_coalesces_contiguous_runs():
+    arr = _ideal(1)
+    reqs = arr.submit_elements(
+        [(0, 0), (0, 1), (0, 2), (0, 5), (0, 7), (0, 8)], IOKind.READ
+    )
+    spans = sorted((r.offset // (4 * _MB), r.size // (4 * _MB)) for r in reqs)
+    assert spans == [(0, 3), (5, 1), (7, 2)]
+
+
+def test_submit_elements_dedups_slots():
+    arr = _ideal(1)
+    reqs = arr.submit_elements([(0, 2), (0, 2), (0, 2)], IOKind.READ)
+    assert len(reqs) == 1
+    assert reqs[0].size == 4 * _MB
+
+
+def test_group_callback_fires_after_all():
+    arr = _ideal(2)
+    done = []
+    arr.submit_elements(
+        [(0, 0), (1, 0), (0, 5)], IOKind.READ, on_complete=lambda: done.append(arr.now)
+    )
+    arr.run()
+    assert len(done) == 1
+    assert done[0] == pytest.approx(arr.now)
+
+
+def test_group_callback_on_empty_batch_fires_immediately():
+    arr = _ideal(1)
+    done = []
+    arr.submit_elements([], IOKind.READ, on_complete=lambda: done.append(True))
+    assert done == [True]
+
+
+def test_per_request_and_group_callbacks_compose():
+    arr = _ideal(1)
+    per, group = [], []
+    arr.submit_elements(
+        [(0, 0), (0, 2)],
+        IOKind.READ,
+        callback=lambda r: per.append(r.offset),
+        on_complete=lambda: group.append(True),
+    )
+    arr.run()
+    assert len(per) == 2
+    assert group == [True]
+
+
+def test_run_rounds_barrier_semantics():
+    """Each round completes before the next starts: with ideal disks,
+    k rounds of one element each cost exactly k transfer times."""
+    arr = _ideal(3)
+    rounds = [[(0, 0), (1, 0), (2, 0)], [(0, 1), (1, 1), (2, 1)]]
+    elapsed = arr.run_rounds(rounds, IOKind.READ)
+    transfer = 4 * _MB / (54.8 * _MB)
+    rotation = DiskParameters.ideal().avg_rotational_latency_s  # first access only
+    assert elapsed == pytest.approx(2 * transfer + rotation, rel=0.01)
+
+
+def test_stats_and_tag_filtering():
+    arr = _ideal(2)
+    arr.submit_elements([(0, 0)], IOKind.READ, tag="a")
+    arr.submit_elements([(1, 0)], IOKind.WRITE, tag="b")
+    arr.run()
+    all_stats = arr.stats()
+    assert all_stats.n_reads == 1 and all_stats.n_writes == 1
+    only_a = arr.stats(tag="a")
+    assert only_a.n_reads == 1 and only_a.n_writes == 0
+
+
+def test_park_heads_resets_stream_state():
+    params = DiskParameters.savvio_10k3()
+    arr = ElementArray(1, 4 * _MB, params)
+    arr.submit_elements([(0, 0)], IOKind.READ)
+    arr.run()
+    arr.park_heads()
+    assert arr.sim.disk(0).head_position == 0
+
+
+def test_for_paper_testbed_uses_savvio():
+    arr = ElementArray.for_paper_testbed(4)
+    assert arr.sim.disk(0).params.seq_read_mbps == pytest.approx(54.8)
+    assert arr.n_disks == 4

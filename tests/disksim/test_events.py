@@ -1,0 +1,147 @@
+"""Event engine: clock, queueing, callbacks, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disksim.disk import DiskParameters
+from repro.disksim.events import Simulation
+from repro.disksim.request import IOKind, IORequest
+
+_MB = 1024 * 1024
+
+
+def _sim(n=2, params=None):
+    return Simulation(n, params or DiskParameters.ideal())
+
+
+def test_needs_at_least_one_disk():
+    with pytest.raises(ValueError):
+        Simulation(0)
+
+
+def test_submit_to_unknown_disk_rejected():
+    sim = _sim(1)
+    with pytest.raises(ValueError, match="unknown disk"):
+        sim.submit(IORequest(3, 0, 1, IOKind.READ))
+
+
+def test_single_request_completes_with_timing():
+    sim = _sim(1)
+    req = IORequest(0, 0, 54 * _MB, IOKind.READ)
+    sim.submit(req)
+    sim.run()
+    assert sim.completed == [req]
+    assert req.finish_time > 0
+    assert req.finish_time == pytest.approx(54 / 54.8, rel=0.01)
+
+
+def test_requests_on_one_disk_serialize():
+    sim = _sim(1)
+    a = IORequest(0, 0, 10 * _MB, IOKind.READ)
+    b = IORequest(0, 10 * _MB, 10 * _MB, IOKind.READ)
+    sim.submit(a)
+    sim.submit(b)
+    sim.run()
+    assert b.start_time >= a.finish_time
+
+
+def test_requests_on_distinct_disks_overlap():
+    sim = _sim(2)
+    a = IORequest(0, 0, 10 * _MB, IOKind.READ)
+    b = IORequest(1, 0, 10 * _MB, IOKind.READ)
+    sim.submit(a)
+    sim.submit(b)
+    sim.run()
+    assert a.start_time == b.start_time == 0.0
+    assert a.finish_time == pytest.approx(b.finish_time)
+
+
+def test_completion_callback_fires_once_with_request():
+    sim = _sim(1)
+    seen = []
+    req = IORequest(0, 0, _MB, IOKind.READ)
+    sim.submit(req, callback=seen.append)
+    sim.run()
+    assert seen == [req]
+
+
+def test_callback_can_submit_more_work():
+    sim = _sim(1)
+    order = []
+
+    def chain(req):
+        order.append(req.offset)
+        if req.offset < 2 * _MB:
+            sim.submit(
+                IORequest(0, req.offset + _MB, _MB, IOKind.READ), callback=chain
+            )
+
+    sim.submit(IORequest(0, 0, _MB, IOKind.READ), callback=chain)
+    sim.run()
+    assert order == [0, _MB, 2 * _MB]
+
+
+def test_submit_at_future_time():
+    sim = _sim(1)
+    req = IORequest(0, 0, _MB, IOKind.READ)
+    sim.submit_at(1.5, req)
+    sim.run()
+    assert req.submit_time == pytest.approx(1.5)
+    with pytest.raises(ValueError, match="past"):
+        sim.submit_at(0.5, IORequest(0, 0, _MB, IOKind.READ))
+
+
+def test_schedule_negative_delay_rejected():
+    sim = _sim(1)
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_run_until_pauses_clock():
+    sim = _sim(1)
+    sim.submit(IORequest(0, 0, 54 * _MB, IOKind.READ))  # ~1 s at 54.8 MB/s ideal? uses ideal params: 54/54.8 s
+    t = sim.run(until=0.1)
+    assert t == pytest.approx(0.1)
+    assert not sim.completed
+    sim.run()
+    assert len(sim.completed) == 1
+
+
+def test_pending_count_tracks_in_flight():
+    sim = _sim(1)
+    sim.submit(IORequest(0, 0, _MB, IOKind.READ))
+    sim.submit(IORequest(0, 2 * _MB, _MB, IOKind.READ))
+    assert sim.pending_count() == 2
+    sim.run()
+    assert sim.pending_count() == 0
+
+
+def test_total_byte_counters():
+    sim = _sim(2)
+    sim.submit(IORequest(0, 0, 3 * _MB, IOKind.READ))
+    sim.submit(IORequest(1, 0, 2 * _MB, IOKind.WRITE))
+    sim.run()
+    assert sim.total_bytes_read == 3 * _MB
+    assert sim.total_bytes_written == 2 * _MB
+
+
+def test_deterministic_replay():
+    def run_once():
+        sim = Simulation(3, DiskParameters.savvio_10k3())
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            sim.submit(
+                IORequest(
+                    int(rng.integers(0, 3)),
+                    int(rng.integers(0, 1000)) * _MB,
+                    _MB,
+                    IOKind.READ,
+                )
+            )
+        sim.run()
+        return [(r.req_id - sim.completed[0].req_id, r.finish_time) for r in sim.completed]
+
+    assert run_once() == run_once()

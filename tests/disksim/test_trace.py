@@ -1,0 +1,69 @@
+"""Trace statistics: throughput, latency, utilization math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disksim.array import ElementArray
+from repro.disksim.disk import DiskParameters
+from repro.disksim.request import IOKind
+from repro.disksim.trace import read_throughput_mbps, summarize, write_throughput_mbps
+
+_MB = 1024 * 1024
+
+
+def _run_mixed():
+    arr = ElementArray(2, 4 * _MB, DiskParameters.ideal())
+    arr.submit_elements([(0, k) for k in range(10)], IOKind.READ, tag="r")
+    arr.submit_elements([(1, k) for k in range(5)], IOKind.WRITE, tag="w")
+    arr.run()
+    return arr
+
+
+def test_summarize_counts_and_bytes():
+    arr = _run_mixed()
+    s = summarize(arr.sim)
+    assert s.bytes_read == 40 * _MB
+    assert s.bytes_written == 20 * _MB
+    assert s.n_reads >= 1 and s.n_writes >= 1
+    assert s.makespan_s > 0
+
+
+def test_throughputs_derive_from_makespan():
+    arr = _run_mixed()
+    s = summarize(arr.sim)
+    assert s.read_throughput_mbps == pytest.approx(40 / s.makespan_s, rel=1e-6)
+    assert read_throughput_mbps(arr.sim) == pytest.approx(s.read_throughput_mbps)
+    assert write_throughput_mbps(arr.sim) == pytest.approx(s.write_throughput_mbps)
+
+
+def test_tag_filter_restricts_scope():
+    arr = _run_mixed()
+    only_reads = summarize(arr.sim, tag="r")
+    assert only_reads.bytes_written == 0
+    assert only_reads.bytes_read == 40 * _MB
+
+
+def test_empty_simulation_stats():
+    arr = ElementArray(1, 4 * _MB, DiskParameters.ideal())
+    s = summarize(arr.sim)
+    assert s.makespan_s == 0.0
+    assert s.read_throughput_mbps == 0.0
+    assert s.mean_latency_s == 0.0
+
+
+def test_utilization_bounded_and_busy_disk_fully_utilized():
+    arr = ElementArray(2, 4 * _MB, DiskParameters.ideal())
+    arr.submit_elements([(0, k) for k in range(20)], IOKind.READ)
+    arr.run()
+    s = summarize(arr.sim)
+    assert s.per_disk_utilization[0] == pytest.approx(1.0, rel=1e-6)
+    assert s.per_disk_utilization[1] == 0.0
+
+
+def test_latency_statistics():
+    arr = ElementArray(1, 4 * _MB, DiskParameters.ideal())
+    arr.submit_elements([(0, 0), (0, 2)], IOKind.READ)  # second queues
+    arr.run()
+    s = summarize(arr.sim)
+    assert s.max_latency_s >= s.mean_latency_s > 0

@@ -1,0 +1,154 @@
+"""SVG chart rendering: structure, scaling, figure drivers."""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.svgplot import LineChart, render_all
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _chart():
+    c = LineChart("Title", "x", "y")
+    c.add_series("a", [1, 2, 3], [10.0, 20.0, 15.0])
+    c.add_series("b", [1, 2, 3], [5.0, 8.0, 30.0])
+    return c
+
+
+def test_svg_is_wellformed_xml():
+    root = ET.fromstring(_chart().to_svg())
+    assert root.tag == f"{SVG_NS}svg"
+
+
+def test_one_polyline_per_series():
+    root = ET.fromstring(_chart().to_svg())
+    polylines = root.findall(f"{SVG_NS}polyline")
+    assert len(polylines) == 2
+
+
+def test_markers_per_point():
+    root = ET.fromstring(_chart().to_svg())
+    circles = root.findall(f"{SVG_NS}circle")
+    assert len(circles) == 6
+
+
+def test_title_and_labels_present():
+    svg = _chart().to_svg()
+    assert "Title" in svg and ">x<" in svg and ">y<" in svg
+
+
+def test_text_is_escaped():
+    c = LineChart("a < b & c", "x", "y")
+    c.add_series("s<1>", [0, 1], [0, 1])
+    svg = c.to_svg()
+    assert "a &lt; b &amp; c" in svg
+    assert "s&lt;1&gt;" in svg
+    ET.fromstring(svg)  # still valid XML
+
+
+def test_points_stay_inside_plot_area():
+    c = _chart()
+    root = ET.fromstring(c.to_svg())
+    for circle in root.findall(f"{SVG_NS}circle"):
+        cx, cy = float(circle.get("cx")), float(circle.get("cy"))
+        assert c.margin_left - 1 <= cx <= c.width - c.margin_right + 1
+        assert c.margin_top - 1 <= cy <= c.height - c.margin_bottom + 1
+
+
+def test_empty_chart_rejected():
+    with pytest.raises(ValueError, match="no series"):
+        LineChart("t", "x", "y").to_svg()
+
+
+def test_mismatched_series_rejected():
+    c = LineChart("t", "x", "y")
+    with pytest.raises(ValueError, match="xs vs"):
+        c.add_series("s", [1, 2], [1])
+    with pytest.raises(ValueError, match="empty"):
+        c.add_series("s", [], [])
+
+
+def test_nice_ticks_cover_range():
+    ticks = LineChart._nice_ticks(0.0, 97.3)
+    assert ticks[0] <= 0.0
+    assert ticks[-1] >= 97.3
+    steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+    assert len(steps) == 1  # uniform spacing
+
+
+def test_nice_ticks_degenerate_range():
+    ticks = LineChart._nice_ticks(5.0, 5.0)
+    assert len(ticks) >= 2
+
+
+def test_save_writes_file(tmp_path):
+    path = tmp_path / "chart.svg"
+    _chart().save(str(path))
+    assert path.read_text().startswith("<svg")
+
+
+@pytest.mark.slow
+def test_render_all_writes_five_figures(tmp_path):
+    written = render_all(str(tmp_path), quick=True)
+    assert len(written) == 5
+    names = {os.path.basename(p) for p in written}
+    assert names == {"fig7.svg", "fig9a.svg", "fig9b.svg", "fig10a.svg", "fig10b.svg"}
+    for p in written:
+        ET.fromstring(open(p).read())  # all well-formed
+
+
+# ----------------------------------------------------------------------
+# Gantt timelines
+# ----------------------------------------------------------------------
+
+
+def test_gantt_structure():
+    from repro.experiments.svgplot import GanttChart
+
+    g = GanttChart("T")
+    g.add_request(0, 0.0, 0.5, "rebuild")
+    g.add_request(1, 0.1, 0.3, "user")
+    root = ET.fromstring(g.to_svg())
+    rects = [
+        r for r in root.findall(f"{SVG_NS}rect") if r.get("fill", "").startswith("#")
+    ]
+    assert len(rects) == 2 + 2  # 2 bars + 2 legend swatches
+
+
+def test_gantt_rejects_empty_and_negative():
+    from repro.experiments.svgplot import GanttChart
+
+    g = GanttChart("T")
+    with pytest.raises(ValueError, match="no requests"):
+        g.to_svg()
+    with pytest.raises(ValueError, match="before start"):
+        g.add_request(0, 1.0, 0.5)
+
+
+def test_gantt_from_simulation_filters_by_tag():
+    from repro.disksim.array import ElementArray
+    from repro.disksim.disk import DiskParameters
+    from repro.disksim.request import IOKind
+    from repro.experiments.svgplot import GanttChart
+
+    arr = ElementArray(2, 4 * 1024 * 1024, DiskParameters.ideal())
+    arr.submit_elements([(0, 0)], IOKind.READ, tag="a")
+    arr.submit_elements([(1, 0)], IOKind.READ, tag="b")
+    arr.run()
+    only_a = GanttChart.from_simulation(arr.sim, "t", tag="a")
+    assert len(only_a._bars) == 1
+
+
+@pytest.mark.slow
+def test_render_rebuild_timelines(tmp_path):
+    from repro.experiments.svgplot import render_rebuild_timelines
+
+    written = render_rebuild_timelines(str(tmp_path), n=3, n_stripes=3)
+    assert len(written) == 2
+    for p in written:
+        root = ET.fromstring(open(p).read())
+        assert root.tag == f"{SVG_NS}svg"

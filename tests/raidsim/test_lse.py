@@ -1,0 +1,230 @@
+"""Latent sector errors during reconstruction (paper §I motivation).
+
+The decisive behavioural contrast: a mirror-method rebuild that hits an
+unreadable sector on the replica disk loses data; the mirror method
+with parity re-routes the element through the parity path and still
+recovers every byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import UnrecoverableFailureError
+from repro.core.layouts import (
+    shifted_mirror,
+    shifted_mirror_parity,
+    traditional_mirror,
+    traditional_mirror_parity,
+)
+from repro.disksim.faults import LatentSectorErrors
+from repro.disksim.request import IOKind, IORequest
+from repro.raidsim.controller import RaidController
+
+ELEM = 4 * 1024 * 1024
+
+
+def _controller(layout, lse, **kw):
+    kw.setdefault("n_stripes", 4)
+    kw.setdefault("payload_bytes", 8)
+    return RaidController(layout, element_size=ELEM, lse=lse, **kw)
+
+
+# ----------------------------------------------------------------------
+# fault model mechanics
+# ----------------------------------------------------------------------
+
+
+def test_inject_query_heal():
+    lse = LatentSectorErrors(ELEM)
+    lse.inject(2, 5)
+    assert lse.is_bad(2, 5)
+    assert len(lse) == 1
+    lse.heal(2, 5)
+    assert not lse.is_bad(2, 5)
+    lse.heal(2, 5)  # idempotent
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        LatentSectorErrors(0)
+    with pytest.raises(ValueError):
+        LatentSectorErrors(ELEM).inject(0, -1)
+
+
+def test_slots_hit_maps_byte_ranges():
+    lse = LatentSectorErrors(ELEM)
+    lse.inject(0, 3)
+    req = IORequest(0, 2 * ELEM, 3 * ELEM, IOKind.READ)  # slots 2..4
+    assert lse.slots_hit(req) == [3]
+    miss = IORequest(0, 0, 2 * ELEM, IOKind.READ)  # slots 0..1
+    assert lse.slots_hit(miss) == []
+
+
+def test_engine_flags_bad_reads_and_heals_on_write():
+    lse = LatentSectorErrors(ELEM)
+    lse.inject(0, 1)
+    ctrl = _controller(shifted_mirror_parity(3), lse)
+    reqs = ctrl.array.submit_elements([(0, 1)], IOKind.READ)
+    ctrl.array.run()
+    assert reqs[0].error
+    # a write reallocates the sector
+    ctrl.array.submit_elements([(0, 1)], IOKind.WRITE)
+    ctrl.array.run()
+    assert not lse.is_bad(0, 1)
+
+
+def test_inject_random_places_distinct_errors():
+    lse = LatentSectorErrors(ELEM)
+    placed = lse.inject_random(np.random.default_rng(0), 10, 4, 16)
+    assert len(placed) == 10
+    assert len(set(placed)) == 10
+    assert len(lse) == 10
+
+
+# ----------------------------------------------------------------------
+# reconstruction behaviour
+# ----------------------------------------------------------------------
+
+
+def _replica_slot(ctrl, stripe, i, j):
+    """Physical (disk, slot) of a[i, j]'s replica."""
+    (cell,) = ctrl.layout.replica_cells(i, j)
+    return ctrl.place(stripe, cell)
+
+
+@pytest.mark.parametrize("builder", [traditional_mirror, shifted_mirror])
+def test_mirror_method_loses_data_on_rebuild_lse(builder):
+    """The §I hazard: single-fault tolerance + one LSE = data loss."""
+    lse = LatentSectorErrors(ELEM)
+    ctrl = _controller(builder(3), lse)
+    pd, slot = _replica_slot(ctrl, 1, 0, 1)  # replica of a[0,1] in stripe 1
+    lse.inject(pd, slot)
+    with pytest.raises(UnrecoverableFailureError, match="latent sector"):
+        ctrl.rebuild([0])
+
+
+@pytest.mark.parametrize("builder", [traditional_mirror_parity, shifted_mirror_parity])
+def test_parity_method_survives_rebuild_lse(builder):
+    """The parity path absorbs the unreadable replica."""
+    lse = LatentSectorErrors(ELEM)
+    ctrl = _controller(builder(3), lse)
+    pd, slot = _replica_slot(ctrl, 1, 0, 1)
+    lse.inject(pd, slot)
+    res = ctrl.rebuild([0])
+    assert res.verified
+
+
+def test_fallback_actually_avoids_the_bad_element():
+    """Corrupt the stored bytes at the LSE cell: if the controller had
+    copied them, verification would fail — it must use the parity path."""
+    lse = LatentSectorErrors(ELEM)
+    ctrl = _controller(shifted_mirror_parity(3), lse)
+    pd, slot = _replica_slot(ctrl, 0, 0, 1)
+    lse.inject(pd, slot)
+    ctrl.content[pd, slot] ^= 0xFF  # poison the unreadable copy
+    res = ctrl.rebuild([0])
+    assert res.verified  # recovered from parity, not from the poison
+
+
+def test_fallback_issues_extra_reads():
+    lse = LatentSectorErrors(ELEM)
+    ctrl = _controller(shifted_mirror_parity(4), lse)
+    pd, slot = _replica_slot(ctrl, 0, 1, 2)
+    lse.inject(pd, slot)
+    res = ctrl.rebuild([1])
+    assert res.verified
+    fallback_reads = [r for r in ctrl.array.sim.completed if r.tag == "lse-fallback"]
+    assert fallback_reads  # the parity-path reads are visible in the trace
+
+
+def test_lse_on_xor_source_swaps_in_replica():
+    """Doubly-failed element (F3): its row source hits an LSE, the
+    fallback reads that row element's replica instead."""
+    n = 4
+    lse = LatentSectorErrors(ELEM)
+    ctrl = _controller(shifted_mirror_parity(n), lse)
+    # failed: data disk 0 and mirror disk that holds a[0, jd]
+    mirror_disk = ctrl.layout.mirror_cell(0, 1)[0]
+    jd = 1
+    # one row-mate of the doubly failed element, on an intact data disk
+    for stripe in range(ctrl.n_stripes):
+        pd, slot = ctrl.place(stripe, ctrl.layout.data_cell(2, jd))
+        lse.inject(pd, slot)
+    res = ctrl.rebuild([0, mirror_disk])
+    assert res.verified
+
+
+def test_replica_and_parity_both_dead_is_unrecoverable():
+    lse = LatentSectorErrors(ELEM)
+    ctrl = _controller(shifted_mirror_parity(3), lse)
+    pd, slot = _replica_slot(ctrl, 0, 0, 1)
+    lse.inject(pd, slot)
+    # also kill the parity element of that row in the same stripe
+    ppd, pslot = ctrl.place(0, ctrl.layout.parity_cell(1))
+    lse.inject(ppd, pslot)
+    with pytest.raises(UnrecoverableFailureError, match="parity path"):
+        ctrl.rebuild([0])
+
+
+def test_lse_model_element_size_must_match():
+    lse = LatentSectorErrors(1024)
+    with pytest.raises(ValueError, match="disagrees"):
+        RaidController(shifted_mirror(3), element_size=ELEM, lse=lse)
+
+
+def test_clean_disks_rebuild_unaffected_by_inactive_model():
+    lse = LatentSectorErrors(ELEM)
+    ctrl = _controller(shifted_mirror(3), lse)
+    assert ctrl.rebuild([0]).verified
+
+
+# ----------------------------------------------------------------------
+# property-based fault-model invariants
+# ----------------------------------------------------------------------
+
+
+def test_lse_inject_heal_roundtrip_property():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        cells=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 63)),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50)
+    def check(cells):
+        lse = LatentSectorErrors(ELEM)
+        for d, s in cells:
+            lse.inject(d, s)
+        assert len(lse) == len(set(cells))
+        for d, s in set(cells):
+            assert lse.is_bad(d, s)
+            lse.heal(d, s)
+        assert len(lse) == 0
+
+    check()
+
+
+def test_slots_hit_matches_manual_range_property():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        bad=st.sets(st.integers(0, 40), max_size=10),
+        start=st.integers(0, 35),
+        n_el=st.integers(1, 5),
+    )
+    @settings(max_examples=80)
+    def check(bad, start, n_el):
+        lse = LatentSectorErrors(ELEM)
+        for s in bad:
+            lse.inject(0, s)
+        req = IORequest(0, start * ELEM, n_el * ELEM, IOKind.READ)
+        expect = sorted(s for s in bad if start <= s < start + n_el)
+        assert lse.slots_hit(req) == expect
+
+    check()

@@ -1,0 +1,70 @@
+"""API surface hygiene: exports resolve, docs stay in sync."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+import pytest
+
+PACKAGES = [
+    "repro.core",
+    "repro.codes",
+    "repro.disksim",
+    "repro.raidsim",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+def _all_modules():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg_name, pkg
+        for m in pkgutil.iter_modules(pkg.__path__):
+            if not m.ispkg:
+                yield f"{pkg_name}.{m.name}", importlib.import_module(
+                    f"{pkg_name}.{m.name}"
+                )
+
+
+@pytest.mark.parametrize("qualname,module", list(_all_modules()))
+def test_every_export_resolves(qualname, module):
+    """Every name in __all__ must exist on the module."""
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{qualname}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("qualname,module", list(_all_modules()))
+def test_every_module_has_a_docstring(qualname, module):
+    assert module.__doc__ and module.__doc__.strip(), f"{qualname} lacks a docstring"
+
+
+@pytest.mark.parametrize("qualname,module", list(_all_modules()))
+def test_every_public_callable_documented(qualname, module):
+    """Every exported class/function carries a docstring."""
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if obj.__module__.startswith("repro"):
+                assert inspect.getdoc(obj), f"{qualname}.{name} lacks a docstring"
+
+
+def test_api_docs_in_sync():
+    """docs/api.md matches a fresh generation (regenerate with
+    ``python tools/gen_api_docs.py`` after public-API changes)."""
+    root = Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "tools"))
+    try:
+        import gen_api_docs
+
+        generated = gen_api_docs.generate()
+    finally:
+        sys.path.pop(0)
+    committed = (root / "docs" / "api.md").read_text(encoding="utf-8")
+    assert committed == generated, (
+        "docs/api.md is stale — run `python tools/gen_api_docs.py`"
+    )

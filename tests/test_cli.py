@@ -1,0 +1,124 @@
+"""CLI front end: every subcommand through its happy path and errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import LAYOUTS, build_layout, main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_layout_registry_builds_everything():
+    # n=5 satisfies every family (xcode needs a prime >= 5)
+    for name in LAYOUTS:
+        layout = build_layout(name, 5)
+        assert layout.n == 5
+
+
+def test_unknown_layout_exits():
+    with pytest.raises(SystemExit, match="unknown layout"):
+        build_layout("raid42", 4)
+
+
+def test_arrange_shifted(capsys):
+    rc, out = run_cli(capsys, "arrange", "--n", "3")
+    assert rc == 0
+    assert "P1=True P2=True P3=True" in out
+    assert "1   4   7" in out
+
+
+def test_arrange_identity(capsys):
+    rc, out = run_cli(capsys, "arrange", "--n", "3", "--identity")
+    assert rc == 0
+    assert "P1=False" in out
+
+
+def test_arrange_iterate3_loses_p3(capsys):
+    rc, out = run_cli(capsys, "arrange", "--n", "3", "--iterate", "3")
+    assert "P3=False" in out
+
+
+def test_table1(capsys):
+    rc, out = run_cli(capsys, "table1", "--n", "5")
+    assert rc == 0
+    assert "Avg_Read = 20/11" in out
+
+
+def test_plan_shifted_single_failure(capsys):
+    rc, out = run_cli(capsys, "plan", "--layout", "shifted-mirror", "--n", "5",
+                      "--failed", "0")
+    assert rc == 0
+    assert "parallel read accesses: 1" in out
+
+
+def test_plan_verbose_lists_steps(capsys):
+    rc, out = run_cli(capsys, "plan", "--layout", "mirror", "--n", "3",
+                      "--failed", "1", "-v")
+    assert "copy" in out
+    assert "(1, 0) <-" in out
+
+
+def test_write_plan_row(capsys):
+    rc, out = run_cli(capsys, "write-plan", "--layout", "shifted-mirror-parity",
+                      "--n", "4", "--row", "0")
+    assert "write accesses: 1" in out
+    assert "elements written: 9" in out
+
+
+def test_write_plan_elements_reconstruct(capsys):
+    rc, out = run_cli(capsys, "write-plan", "--layout", "mirror-parity",
+                      "--n", "4", "--element", "0,0", "--strategy", "reconstruct")
+    assert "(reconstruct)" in out
+    assert "elements read: 3" in out
+
+
+def test_simulate_rebuild(capsys):
+    rc, out = run_cli(capsys, "simulate", "rebuild", "--layout", "shifted-mirror",
+                      "--n", "3", "--failed", "0", "--stripes", "4")
+    assert rc == 0
+    assert "content verified:   True" in out
+
+
+def test_simulate_writes(capsys):
+    rc, out = run_cli(capsys, "simulate", "writes", "--layout", "mirror",
+                      "--n", "3", "--stripes", "4", "--ops", "10")
+    assert rc == 0
+    assert "redundancy intact: True" in out
+
+
+def test_experiments_only_table1(capsys):
+    rc, out = run_cli(capsys, "experiments", "--quick", "--only", "table1")
+    assert rc == 0
+    assert "table1" in out
+    assert "fig9a" not in out
+
+
+def test_missing_subcommand_is_an_error(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_reliability_command(capsys):
+    rc, out = run_cli(capsys, "reliability", "--layout", "shifted-mirror",
+                      "--n", "3", "--stripes", "6")
+    assert rc == 0
+    assert "MTTDL:" in out and "x)" in out
+
+
+def test_scrub_command(capsys):
+    rc, out = run_cli(capsys, "scrub", "--layout", "shifted-mirror-parity",
+                      "--n", "3", "--stripes", "4", "--errors", "3")
+    assert rc == 0
+    assert "latent sector errors found:    3" in out
+    assert "fully repaired" in out
+
+
+def test_svg_command(capsys, tmp_path):
+    rc, out = run_cli(capsys, "svg", "--outdir", str(tmp_path), "--quick")
+    assert rc == 0
+    assert out.count("wrote ") == 5

@@ -1,0 +1,98 @@
+"""Workload JSONL persistence: roundtrips and malformed-input handling."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import (
+    UserRead,
+    WriteOp,
+    random_large_writes,
+    user_read_stream,
+)
+from repro.workloads.persistence import (
+    load_user_reads,
+    load_write_ops,
+    save_user_reads,
+    save_write_ops,
+)
+
+
+def test_write_ops_roundtrip_file(tmp_path):
+    ops = random_large_writes(4, 6, n_ops=25, rng=np.random.default_rng(1))
+    path = tmp_path / "ops.jsonl"
+    assert save_write_ops(ops, str(path)) == 25
+    assert load_write_ops(str(path)) == ops
+
+
+def test_write_ops_roundtrip_stream():
+    ops = [WriteOp(0, ((0, 0),)), WriteOp(3, ((1, 2), (2, 2)))]
+    buf = io.StringIO()
+    save_write_ops(ops, buf)
+    buf.seek(0)
+    assert load_write_ops(buf) == ops
+
+
+def test_user_reads_roundtrip(tmp_path):
+    reads = user_read_stream(4, 6, duration_s=1.0, rate_per_s=40, rng=np.random.default_rng(2))
+    path = tmp_path / "reads.jsonl"
+    save_user_reads(reads, str(path))
+    assert load_user_reads(str(path)) == reads
+
+
+def test_loader_resorts_by_time():
+    buf = io.StringIO(
+        '{"time": 2.0, "stripe": 0, "i": 0, "j": 0}\n'
+        '{"time": 1.0, "stripe": 0, "i": 1, "j": 1}\n'
+    )
+    reads = load_user_reads(buf)
+    assert [r.time for r in reads] == [1.0, 2.0]
+
+
+def test_blank_lines_ignored():
+    buf = io.StringIO('\n{"stripe": 1, "elements": [[0, 0]]}\n\n')
+    assert load_write_ops(buf) == [WriteOp(1, ((0, 0),))]
+
+
+def test_malformed_write_op_rejected_with_line_number():
+    buf = io.StringIO('{"stripe": 1}\n')
+    with pytest.raises(ValueError, match="line 1"):
+        load_write_ops(buf)
+
+
+def test_empty_elements_rejected():
+    buf = io.StringIO('{"stripe": 1, "elements": []}\n')
+    with pytest.raises(ValueError, match="no elements"):
+        load_write_ops(buf)
+
+
+def test_malformed_user_read_rejected():
+    buf = io.StringIO('{"time": "soon", "stripe": 0, "i": 0, "j": 0}\n')
+    # "soon" float()s to an error
+    with pytest.raises(ValueError):
+        load_user_reads(buf)
+
+
+def test_loaded_workload_drives_controller(tmp_path):
+    """A persisted workload replays identically through the harness."""
+    from repro.core.layouts import shifted_mirror
+    from repro.raidsim.controller import RaidController
+
+    ops = random_large_writes(3, 4, n_ops=10, rng=np.random.default_rng(3))
+    path = tmp_path / "w.jsonl"
+    save_write_ops(ops, str(path))
+    replay = load_write_ops(str(path))
+
+    def run(workload):
+        ctrl = RaidController(shifted_mirror(3), n_stripes=4, payload_bytes=8)
+        res = ctrl.run_write_workload(list(workload), rng=np.random.default_rng(9))
+        return res.makespan_s, res.bytes_written
+
+    assert run(ops) == run(replay)
+
+
+def test_user_read_frozen_equality():
+    assert UserRead(1.0, 2, 3, 4) == UserRead(1.0, 2, 3, 4)
