@@ -1,0 +1,84 @@
+"""Ablation: rebuild robustness under transient errors and fail-slow disks.
+
+Sweeps the two knobs the fault campaign engine adds — the transient
+media-error rate and the fail-slow latency multiplier — over both
+arrangements.  The qualitative shape to preserve: makespan grows
+monotonically-ish with either knob, every configuration still verifies
+(transients are retryable, fail-slow is only slow), and the shifted
+arrangement keeps its rebuild advantage while the array is under fire.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.layouts import shifted_mirror, traditional_mirror
+from repro.disksim.faultplan import FaultPlan
+from repro.raidsim.controller import RaidController
+
+N = 5
+STRIPES = 12
+TRANSIENT_RATES = (0.0, 0.1, 0.3)
+SLOW_MULTIPLIERS = (1.0, 2.0, 4.0)
+
+
+def _measure(builder, rate, multiplier, seed=2012):
+    plan = FaultPlan(seed=seed)
+    if rate > 0:
+        plan = plan.with_transients(rate=rate)
+    if multiplier > 1.0:
+        # disk N holds replicas of disk 0 under both arrangements: the
+        # whole traditional read stream, a 1/n share of the shifted one
+        plan = plan.with_fail_slow(N, multiplier)
+    ctrl = RaidController(
+        builder(N), n_stripes=STRIPES, payload_bytes=8, fault_plan=plan
+    )
+    result = ctrl.rebuild([0])
+    assert result.verified and not result.aborted
+    return result
+
+
+def test_bench_fault_ablation(benchmark):
+    def sweep():
+        grid = {}
+        for name, builder in (
+            ("traditional", traditional_mirror),
+            ("shifted", shifted_mirror),
+        ):
+            for rate in TRANSIENT_RATES:
+                for mult in SLOW_MULTIPLIERS:
+                    res = _measure(builder, rate, mult)
+                    grid[(name, rate, mult)] = res
+        return grid
+
+    grid = run_once(benchmark, sweep)
+
+    # fail-slow inflates the makespan monotonically at every rate
+    for name in ("traditional", "shifted"):
+        for rate in TRANSIENT_RATES:
+            spans = [grid[(name, rate, m)].makespan_s for m in SLOW_MULTIPLIERS]
+            assert spans == sorted(spans)
+            assert spans[-1] > 1.5 * spans[0]
+    # transients cost retries and backoff, never data
+    for (name, rate, mult), res in grid.items():
+        stats = res.fault_stats
+        assert stats.data_loss_events == 0
+        if rate == 0.0:
+            assert stats.retries == 0
+        else:
+            assert stats.retries > 0 and stats.backoff_time_s > 0
+    # the shifted arrangement's advantage survives the worst cell
+    worst = (TRANSIENT_RATES[-1], SLOW_MULTIPLIERS[-1])
+    assert (
+        grid[("shifted", *worst)].makespan_s
+        < grid[("traditional", *worst)].makespan_s
+    )
+
+    benchmark.extra_info["makespan_s"] = {
+        f"{name}/rate={rate}/slow={mult}": res.makespan_s
+        for (name, rate, mult), res in grid.items()
+    }
+    benchmark.extra_info["retries"] = {
+        f"{name}/rate={rate}/slow={mult}": res.fault_stats.retries
+        for (name, rate, mult), res in grid.items()
+    }

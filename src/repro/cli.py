@@ -26,6 +26,7 @@ from .core.arrangement import (
     PermutationArrangement,
     ShiftedArrangement,
 )
+from .core.errors import LayoutError, UnrecoverableFailureError
 from .core.layouts import (
     Layout,
     MirrorLayout,
@@ -217,6 +218,70 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faultcampaign(args: argparse.Namespace) -> int:
+    from .raidsim.campaign import (
+        clean_rebuild_makespan,
+        compare_arrangements,
+        default_fault_plan,
+    )
+
+    family = args.family
+    trad_builder = LAYOUTS[family]
+    shift_builder = LAYOUTS[f"shifted-{family}"]
+    layout = trad_builder(args.n)
+    second_time = None
+    if args.second_failure_at is not None and args.second_failure_at > 0:
+        base = clean_rebuild_makespan(
+            layout, (args.failed,), n_stripes=args.stripes
+        )
+        second_time = args.second_failure_at * base
+    plan = default_fault_plan(
+        layout.n_disks,
+        seed=args.seed,
+        lse_burst=args.lse_burst,
+        fail_slow_disk=args.fail_slow_disk,
+        fail_slow_multiplier=args.fail_slow_mult,
+        second_failure_disk=args.second_failure_disk,
+        second_failure_time_s=second_time,
+        transient_rate=args.transient_rate,
+    )
+    cmp_ = compare_arrangements(
+        lambda: trad_builder(args.n),
+        lambda: shift_builder(args.n),
+        plan,
+        failed_disks=(args.failed,),
+        n_stripes=args.stripes,
+        user_read_rate_per_s=args.rate,
+    )
+    print(f"Fault campaign (seed {args.seed}) on {family} at n={args.n}:")
+    print(f"  transients rate {args.transient_rate}, {args.lse_burst} latent "
+          f"sector errors, fail-slow x{args.fail_slow_mult}"
+          + (f", second failure at {second_time:.3f} s" if second_time else ""))
+    for run in (cmp_.traditional, cmp_.shifted):
+        s = run.fault_stats
+        r = run.rebuild
+        print(f"\n{run.layout_name}:")
+        print(f"  rebuild makespan:      {r.makespan_s:.3f} s "
+              f"(verified: {r.verified}, aborted: {r.aborted})")
+        print(f"  user reads served:     {run.online.n_user_reads} "
+              f"(mean {run.online.mean_user_latency_s * 1e3:.1f} ms, "
+              f"p95 {run.online.p95_user_latency_s * 1e3:.1f} ms)")
+        print(f"  availability:          {run.availability:.4f}")
+        print(f"  data survival:         {run.data_survival:.4f}")
+        print(f"  retries / backoff:     {s.retries} / {s.backoff_time_s * 1e3:.1f} ms")
+        print(f"  rerouted reads:        {s.rerouted_reads}")
+        print(f"  healed LSEs:           {s.healed_lses}")
+        print(f"  abandoned requests:    {s.abandoned_requests}")
+        print(f"  data-loss events:      {s.data_loss_events}")
+        if s.mid_rebuild_failures:
+            print(f"  mid-rebuild failures:  {list(s.mid_rebuild_failures)}")
+    print(f"\navailability delta (shifted - traditional): "
+          f"{cmp_.availability_delta:+.4f}")
+    print(f"user latency speedup:  {cmp_.latency_speedup:.2f}x")
+    print(f"rebuild speedup:       {cmp_.makespan_speedup:.2f}x")
+    return 0
+
+
 def cmd_scrub(args: argparse.Namespace) -> int:
     from .disksim.faults import LatentSectorErrors
     from .raidsim.controller import RaidController
@@ -309,6 +374,28 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--mttf", type=float, default=1.0e6)
     p.set_defaults(func=cmd_reliability)
 
+    p = sub.add_parser(
+        "faultcampaign",
+        help="seeded fault-injection campaign over both arrangements",
+    )
+    p.add_argument("--family", default="mirror",
+                   choices=["mirror", "mirror-parity", "three-mirror"],
+                   help="architecture family (traditional vs shifted variant)")
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--failed", type=int, default=0, help="first failed disk")
+    p.add_argument("--stripes", type=int, default=12)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--transient-rate", type=float, default=0.05)
+    p.add_argument("--lse-burst", type=int, default=4)
+    p.add_argument("--fail-slow-disk", type=int, default=None)
+    p.add_argument("--fail-slow-mult", type=float, default=4.0)
+    p.add_argument("--second-failure-disk", type=int, default=None)
+    p.add_argument("--second-failure-at", type=float, default=0.5, metavar="FRAC",
+                   help="second failure as a fraction of the clean rebuild "
+                        "makespan (negative or omitted value disables)")
+    p.add_argument("--rate", type=float, default=30.0, help="user reads per second")
+    p.set_defaults(func=cmd_faultcampaign)
+
     p = sub.add_parser("scrub", help="inject latent sector errors and scrub them")
     p.add_argument("--layout", default="shifted-mirror-parity", choices=sorted(LAYOUTS))
     p.add_argument("--n", type=int, default=5)
@@ -322,7 +409,12 @@ def _parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = _parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, NotImplementedError, LayoutError, UnrecoverableFailureError) as exc:
+        # domain errors become a one-line message, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,6 +9,14 @@ printed in §VII (54.8 MB/s peak read, 130 MB/s peak write, 10 krpm,
 from .array import DEFAULT_ELEMENT_SIZE, ElementArray
 from .disk import DiskModel, DiskParameters
 from .events import Simulation
+from .faultplan import (
+    ActiveFaults,
+    DiskFailure,
+    FailSlow,
+    FaultPlan,
+    InjectionCounters,
+    TransientFaults,
+)
 from .faults import LatentSectorErrors
 from .request import IOKind, IORequest
 from .scheduler import ElevatorScheduler, FIFOScheduler, PriorityScheduler, Scheduler
@@ -25,6 +33,12 @@ __all__ = [
     "PriorityScheduler",
     "Simulation",
     "LatentSectorErrors",
+    "FaultPlan",
+    "TransientFaults",
+    "FailSlow",
+    "DiskFailure",
+    "ActiveFaults",
+    "InjectionCounters",
     "ElementArray",
     "DEFAULT_ELEMENT_SIZE",
     "TraceStats",

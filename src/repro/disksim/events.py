@@ -58,7 +58,11 @@ class Simulation:
         if n_disks < 1:
             raise ValueError(f"need at least one disk, got {n_disks}")
         self.params = params if params is not None else DiskParameters.savvio_10k3()
-        #: optional :class:`repro.disksim.faults.LatentSectorErrors`
+        #: optional fault model: a
+        #: :class:`repro.disksim.faults.LatentSectorErrors` or the
+        #: richer :class:`repro.disksim.faultplan.ActiveFaults` (duck
+        #: typed — ``on_completion`` is required, ``service_factor``
+        #: consulted when present)
         self.faults = faults
         self.disks = [
             _DiskServer(DiskModel(d, self.params), scheduler_factory())
@@ -102,6 +106,13 @@ class Simulation:
             return
         request = server.scheduler.pop(server.model.head_position)
         duration = server.model.serve(request)
+        service_factor = getattr(self.faults, "service_factor", None)
+        if service_factor is not None:
+            factor = service_factor(request.disk, self.now)
+            if factor != 1.0:
+                # fail-slow inflation counts as busy time too
+                server.model.busy_time += duration * (factor - 1.0)
+                duration *= factor
         request.start_time = self.now
         request.finish_time = self.now + duration
         server.busy = True

@@ -37,6 +37,9 @@ class LatentSectorErrors:
             raise ValueError(f"element size must be positive, got {element_size}")
         self.element_size = element_size
         self._bad: set[tuple[int, int]] = set()
+        #: lifetime count of LSEs cleared by overwrites (sector
+        #: reallocations) — the "healed" counter campaigns report
+        self.healed_count: int = 0
 
     # ------------------------------------------------------------------
     def inject(self, disk: int, slot: int) -> None:
@@ -52,7 +55,27 @@ class LatentSectorErrors:
         n_disks: int,
         slots_per_disk: int,
     ) -> list[tuple[int, int]]:
-        """Scatter ``n_errors`` distinct LSEs uniformly; returns them."""
+        """Scatter ``n_errors`` distinct LSEs uniformly; returns them.
+
+        Raises :class:`ValueError` when the array cannot hold that many
+        distinct errors (accounting for cells already bad), which would
+        otherwise spin forever looking for a free cell.
+        """
+        if n_errors < 0:
+            raise ValueError(f"n_errors must be >= 0, got {n_errors}")
+        if n_disks < 1 or slots_per_disk < 1:
+            raise ValueError(
+                f"need a non-empty array, got {n_disks} disks x {slots_per_disk} slots"
+            )
+        already = sum(
+            1 for d, s in self._bad if 0 <= d < n_disks and 0 <= s < slots_per_disk
+        )
+        capacity = n_disks * slots_per_disk - already
+        if n_errors > capacity:
+            raise ValueError(
+                f"cannot place {n_errors} distinct LSEs: only {capacity} free cells "
+                f"in a {n_disks} x {slots_per_disk} array"
+            )
         placed: list[tuple[int, int]] = []
         while len(placed) < n_errors:
             cell = (int(rng.integers(0, n_disks)), int(rng.integers(0, slots_per_disk)))
@@ -63,7 +86,9 @@ class LatentSectorErrors:
 
     def heal(self, disk: int, slot: int) -> None:
         """Clear an LSE (sector reallocated by a write)."""
-        self._bad.discard((disk, slot))
+        if (disk, slot) in self._bad:
+            self._bad.discard((disk, slot))
+            self.healed_count += 1
 
     def clear(self) -> None:
         self._bad.clear()

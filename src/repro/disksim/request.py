@@ -59,6 +59,12 @@ class IORequest:
     #: set when the request touched an unreadable sector (see
     #: :mod:`repro.disksim.faults`)
     error: bool = False
+    #: why the request errored: ``"lse"``, ``"transient"`` or
+    #: ``"disk-failed"`` (see :mod:`repro.disksim.faultplan`)
+    error_kind: str = ""
+    #: 0 for a fresh request, k for its k-th retry (see
+    #: :class:`repro.raidsim.controller.RetryPolicy`)
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if self.size <= 0:

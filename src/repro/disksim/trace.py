@@ -32,6 +32,11 @@ class TraceStats:
     max_latency_s: float
     per_disk_busy_s: dict[int, float]
     per_disk_utilization: dict[int, float]
+    #: requests that completed flagged with an error (LSE, transient,
+    #: dead disk — see :mod:`repro.disksim.faultplan`)
+    n_errors: int = 0
+    #: requests that were retries (``attempt > 0``) of an earlier one
+    n_retries: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -81,6 +86,8 @@ def summarize(sim: Simulation, tag: str | None = None) -> TraceStats:
         max_latency_s=max(latencies, default=0.0),
         per_disk_busy_s=busy,
         per_disk_utilization=util,
+        n_errors=sum(1 for r in reqs if r.error),
+        n_retries=sum(1 for r in reqs if r.attempt > 0),
     )
 
 

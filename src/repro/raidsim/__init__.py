@@ -6,7 +6,22 @@ from .availability import (
     measure_case,
     reconstruction_series,
 )
-from .controller import RaidController, RebuildResult, WriteResult
+from .campaign import (
+    CampaignComparison,
+    CampaignRun,
+    clean_rebuild_makespan,
+    compare_arrangements,
+    default_fault_plan,
+    run_campaign,
+)
+from .controller import (
+    FaultStats,
+    RaidController,
+    RebuildCheckpoint,
+    RebuildResult,
+    RetryPolicy,
+    WriteResult,
+)
 from .degraded import DegradedArray, DegradedStats
 from .reconstruction import OnlineReconstruction, OnlineResult, degraded_read_sources
 from .scrub import ScrubReport, Scrubber
@@ -16,6 +31,15 @@ __all__ = [
     "RaidController",
     "RebuildResult",
     "WriteResult",
+    "RetryPolicy",
+    "FaultStats",
+    "RebuildCheckpoint",
+    "CampaignRun",
+    "CampaignComparison",
+    "default_fault_plan",
+    "clean_rebuild_makespan",
+    "run_campaign",
+    "compare_arrangements",
     "AvailabilityPoint",
     "measure_case",
     "average_reconstruction_throughput",

@@ -1,0 +1,242 @@
+"""Fault-injection campaigns: both arrangements under the same storm.
+
+The paper's experiments rebuild under *clean* conditions — one failed
+disk, perfectly healthy survivors.  Real rebuild windows are nastier:
+latent sector errors surface exactly when the redundancy is thinnest,
+drives go slow before they go dead, and the classic nightmare is a
+*second* whole-disk failure while the first rebuild is still running.
+
+A campaign subjects the traditional and the shifted arrangement to the
+**identical** seeded :class:`~repro.disksim.faultplan.FaultPlan` — same
+LSE burst, same fail-slow drive, same mid-rebuild disk death at the
+same simulated instant — and compares what the user sees: how many
+reads were served, how late, and how much data survived.  Because both
+the fault schedule and the event engine are deterministic, a campaign
+is a reproducible experiment, not an anecdote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.layouts import Layout
+from ..disksim.array import DEFAULT_ELEMENT_SIZE
+from ..disksim.faultplan import FaultPlan
+from ..disksim.scheduler import PriorityScheduler
+from ..workloads.generator import user_read_stream
+from .controller import FaultStats, RaidController, RebuildResult, RetryPolicy
+from .reconstruction import OnlineReconstruction, OnlineResult
+
+__all__ = [
+    "CampaignRun",
+    "CampaignComparison",
+    "default_fault_plan",
+    "clean_rebuild_makespan",
+    "run_campaign",
+    "compare_arrangements",
+]
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """One arrangement's fate under a fault campaign."""
+
+    layout_name: str
+    online: OnlineResult
+    #: user reads answered without an unrecovered error, as a fraction
+    availability: float
+    #: stripe-columns that survived (1.0 = no data loss)
+    data_survival: float
+
+    @property
+    def rebuild(self) -> RebuildResult:
+        return self.online.rebuild
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        assert self.online.fault_stats is not None
+        return self.online.fault_stats
+
+
+@dataclass(frozen=True)
+class CampaignComparison:
+    """Traditional vs shifted arrangement under the identical fault plan."""
+
+    traditional: CampaignRun
+    shifted: CampaignRun
+
+    @property
+    def availability_delta(self) -> float:
+        """Shifted minus traditional served-read fraction."""
+        return self.shifted.availability - self.traditional.availability
+
+    @property
+    def latency_speedup(self) -> float:
+        """Traditional over shifted mean user latency (>1 favours shifted)."""
+        if self.shifted.online.mean_user_latency_s <= 0:
+            return float("inf")
+        return (
+            self.traditional.online.mean_user_latency_s
+            / self.shifted.online.mean_user_latency_s
+        )
+
+    @property
+    def makespan_speedup(self) -> float:
+        """Traditional over shifted rebuild makespan (>1 favours shifted)."""
+        if self.shifted.rebuild.makespan_s <= 0:
+            return float("inf")
+        return self.traditional.rebuild.makespan_s / self.shifted.rebuild.makespan_s
+
+
+def clean_rebuild_makespan(
+    layout: Layout,
+    failed_disks=(0,),
+    n_stripes: int = 12,
+    element_size: int = DEFAULT_ELEMENT_SIZE,
+    payload_bytes: int = 16,
+    window: int = 4,
+) -> float:
+    """Makespan of a fault-free rebuild — the campaign's time yardstick.
+
+    Scheduled mid-rebuild failures are expressed as a *fraction* of
+    this dry-run makespan, so "a second disk dies halfway through"
+    means the same thing on both arrangements.
+    """
+    ctrl = RaidController(
+        layout,
+        n_stripes=n_stripes,
+        element_size=element_size,
+        payload_bytes=payload_bytes,
+    )
+    return ctrl.rebuild(failed_disks, window=window, verify=False).makespan_s
+
+
+def default_fault_plan(
+    n_disks: int,
+    seed: int = 2012,
+    lse_burst: int = 4,
+    fail_slow_disk: int | None = None,
+    fail_slow_multiplier: float = 4.0,
+    second_failure_disk: int | None = None,
+    second_failure_time_s: float | None = None,
+    transient_rate: float = 0.05,
+) -> FaultPlan:
+    """The walkthrough storm: LSE burst + fail-slow + mid-rebuild death.
+
+    ``fail_slow_disk`` defaults to the last disk of the array and
+    ``second_failure_disk`` to the second-to-last; pass explicit ids
+    (or ``second_failure_time_s=None`` to skip the second failure).
+    """
+    plan = FaultPlan(seed=seed)
+    if transient_rate > 0:
+        plan = plan.with_transients(rate=transient_rate)
+    if lse_burst > 0:
+        plan = plan.with_lse_burst(lse_burst)
+    if fail_slow_disk is None:
+        fail_slow_disk = n_disks - 1
+    if fail_slow_multiplier > 1.0:
+        plan = plan.with_fail_slow(fail_slow_disk, fail_slow_multiplier)
+    if second_failure_time_s is not None:
+        if second_failure_disk is None:
+            second_failure_disk = n_disks - 2
+        plan = plan.with_disk_failure(second_failure_disk, second_failure_time_s)
+    return plan
+
+
+def run_campaign(
+    layout: Layout,
+    fault_plan: FaultPlan,
+    failed_disks=(0,),
+    n_stripes: int = 12,
+    element_size: int = DEFAULT_ELEMENT_SIZE,
+    payload_bytes: int = 16,
+    window: int = 4,
+    retry_policy: RetryPolicy | None = None,
+    user_read_rate_per_s: float = 30.0,
+    user_read_duration_s: float | None = None,
+    user_read_seed: int = 99,
+) -> CampaignRun:
+    """One arrangement through one campaign: rebuild under fire.
+
+    Runs an on-line reconstruction of ``failed_disks`` with the fault
+    plan active and a Poisson user-read stream on top.  Reconstruction
+    is byte-verified where recoverable; unrecoverable columns are
+    counted, not raised.
+    """
+    if user_read_duration_s is None:
+        user_read_duration_s = 1.5 * clean_rebuild_makespan(
+            layout,
+            failed_disks,
+            n_stripes=n_stripes,
+            element_size=element_size,
+            payload_bytes=payload_bytes,
+            window=window,
+        )
+    ctrl = RaidController(
+        layout,
+        n_stripes=n_stripes,
+        element_size=element_size,
+        scheduler_factory=PriorityScheduler,
+        payload_bytes=payload_bytes,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+    )
+    reads = user_read_stream(
+        layout.n,
+        n_stripes,
+        duration_s=user_read_duration_s,
+        rate_per_s=user_read_rate_per_s,
+        rng=np.random.default_rng(user_read_seed),
+    )
+    online = OnlineReconstruction(
+        ctrl, failed_disks, reads, window=window
+    ).run()
+    served = online.n_user_reads
+    availability = (
+        1.0 - online.failed_user_reads / served if served > 0 else 1.0
+    )
+    total_columns = layout.n_disks * n_stripes
+    stats = online.fault_stats
+    lost = len(stats.lost_columns) if stats is not None else 0
+    return CampaignRun(
+        layout_name=layout.name,
+        online=online,
+        availability=availability,
+        data_survival=1.0 - lost / total_columns,
+    )
+
+
+def compare_arrangements(
+    traditional_factory: Callable[[], Layout],
+    shifted_factory: Callable[[], Layout],
+    fault_plan: FaultPlan,
+    **campaign_kwargs,
+) -> CampaignComparison:
+    """Both arrangements through the identical seeded campaign.
+
+    The frozen plan is *activated* independently per run, so both
+    arrays replay the same fault schedule from the same seed — the
+    arrangements differ, the storm does not.  Unless overridden, the
+    user-read window is sized once (off the slower arrangement's clean
+    rebuild) so both runs face the identical read stream.
+    """
+    if campaign_kwargs.get("user_read_duration_s") is None:
+        sizing = {
+            k: campaign_kwargs[k]
+            for k in ("failed_disks", "n_stripes", "element_size",
+                      "payload_bytes", "window")
+            if k in campaign_kwargs
+        }
+        campaign_kwargs["user_read_duration_s"] = 1.5 * max(
+            clean_rebuild_makespan(traditional_factory(), **sizing),
+            clean_rebuild_makespan(shifted_factory(), **sizing),
+        )
+    return CampaignComparison(
+        traditional=run_campaign(
+            traditional_factory(), fault_plan, **campaign_kwargs
+        ),
+        shifted=run_campaign(shifted_factory(), fault_plan, **campaign_kwargs),
+    )

@@ -24,7 +24,7 @@ throughput experiments pin down one specific logical case.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -48,16 +48,100 @@ from ..core.reconstruction import (
 from ..core.stack import RotatedStack
 from ..disksim.array import DEFAULT_ELEMENT_SIZE, ElementArray
 from ..disksim.disk import DiskParameters
+from ..disksim.faultplan import ActiveFaults, FaultPlan
 from ..disksim.faults import LatentSectorErrors
-from ..disksim.request import IOKind
+from ..disksim.request import IOKind, IORequest
 from ..disksim.scheduler import ElevatorScheduler, Scheduler
 from ..disksim.trace import TraceStats
 from ..workloads.film import DEFAULT_PAYLOAD_BYTES, FilmSource
 from ..workloads.generator import WriteOp
 
-__all__ = ["RaidController", "RebuildResult", "WriteResult"]
+__all__ = [
+    "RaidController",
+    "RebuildResult",
+    "WriteResult",
+    "RetryPolicy",
+    "FaultStats",
+    "RebuildCheckpoint",
+]
 
 _MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded read retries with exponential backoff in simulated time.
+
+    A failed (or, with ``timeout_s``, too-slow) read is resubmitted up
+    to ``max_attempts - 1`` times; the k-th resubmission waits
+    ``backoff_base_s * backoff_factor**k`` simulated seconds first, so
+    backoff shows up in the measured makespans like it would on real
+    hardware.  Only *transient* errors and timeouts are retried —
+    latent sector errors and dead disks go straight to re-routing.
+    """
+
+    max_attempts: int = 4
+    backoff_base_s: float = 0.002
+    backoff_factor: float = 2.0
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0:
+            raise ValueError(f"backoff base must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff factor must be >= 1, got {self.backoff_factor}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout_s}")
+
+    def backoff_s(self, failed_attempt: int) -> float:
+        """Backoff before resubmitting after 0-based ``failed_attempt``."""
+        return self.backoff_base_s * self.backoff_factor**failed_attempt
+
+
+@dataclass
+class FaultStats:
+    """Robustness counters of one rebuild (or online-rebuild) run."""
+
+    retries: int = 0
+    backoff_time_s: float = 0.0
+    rerouted_reads: int = 0
+    timeouts: int = 0
+    slow_reads_accepted: int = 0
+    abandoned_requests: int = 0
+    transient_errors: int = 0
+    healed_lses: int = 0
+    data_loss_events: int = 0
+    #: ``(physical disk, stripe)`` columns that could not be recovered
+    lost_columns: list[tuple[int, int]] = field(default_factory=list)
+    #: disks that failed *while* the rebuild was running
+    mid_rebuild_failures: tuple[int, ...] = ()
+
+
+@dataclass
+class RebuildCheckpoint:
+    """Which stripes a (possibly aborted) rebuild already restored.
+
+    ``completed`` maps each physical disk under repair to the stripes
+    whose column was fully rebuilt; a resumed rebuild
+    (``rebuild(..., resume_from=checkpoint)``) only redoes the
+    remainder.  ``lost`` columns are unrecoverable and stay lost.
+    """
+
+    failed_disks: tuple[int, ...]
+    n_stripes: int
+    completed: dict[int, frozenset[int]]
+    lost: tuple[tuple[int, int], ...] = ()
+
+    def remaining(self, disk: int) -> list[int]:
+        done = self.completed.get(disk, frozenset())
+        gone = {s for d, s in self.lost if d == disk}
+        return [s for s in range(self.n_stripes) if s not in done and s not in gone]
+
+    @property
+    def is_complete(self) -> bool:
+        return all(not self.remaining(d) for d in self.failed_disks)
 
 
 @dataclass(frozen=True)
@@ -73,6 +157,13 @@ class RebuildResult:
     recovered_throughput_mbps: float
     verified: bool
     max_read_accesses_per_stripe: int
+    #: retry/reroute/loss counters (always present; all-zero on a
+    #: fault-free run)
+    fault_stats: FaultStats | None = None
+    #: present when the rebuild did not fully restore every column
+    checkpoint: RebuildCheckpoint | None = None
+    #: True when at least one column was abandoned as lost
+    aborted: bool = False
 
 
 @dataclass(frozen=True)
@@ -107,6 +198,16 @@ class RaidController:
     spares:
         Extra hot-spare disks appended after the architecture's disks,
         used as rebuild targets when ``write_spare`` is requested.
+    fault_plan:
+        Optional :class:`~repro.disksim.faultplan.FaultPlan`; activating
+        it wires transient errors, fail-slow drives, LSEs and scheduled
+        whole-disk failures into the array, and switches rebuilds into
+        *counting* mode: unrecoverable columns are recorded as data-loss
+        events in :class:`FaultStats` instead of raising.  Mutually
+        exclusive with ``lse``.
+    retry_policy:
+        Read retry/backoff policy; defaults to :class:`RetryPolicy`'s
+        defaults when a fault plan is present, otherwise no retries.
     """
 
     def __init__(
@@ -121,11 +222,23 @@ class RaidController:
         spares: int = 0,
         film_seed: int = 2012,
         lse: LatentSectorErrors | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.layout = layout
         self.stack = RotatedStack(layout, n_stripes, rotate=rotate)
         self.n_stripes = n_stripes
         self.spares = spares
+        slots = n_stripes * layout.rows
+        self.fault_plan = fault_plan
+        self.active_faults: ActiveFaults | None = None
+        if fault_plan is not None:
+            if lse is not None:
+                raise ValueError("pass either lse or fault_plan, not both")
+            self.active_faults = fault_plan.activate(
+                element_size, layout.n_disks + spares, slots
+            )
+            lse = self.active_faults.lse
         self.lse = lse
         if lse is not None and lse.element_size != element_size:
             raise ValueError(
@@ -133,16 +246,43 @@ class RaidController:
                 f"array element size {element_size}"
             )
         self.array = ElementArray(
-            layout.n_disks + spares, element_size, params, scheduler_factory, faults=lse
+            layout.n_disks + spares,
+            element_size,
+            params,
+            scheduler_factory,
+            faults=self.active_faults if self.active_faults is not None else lse,
         )
+        if retry_policy is None and fault_plan is not None:
+            retry_policy = RetryPolicy()
+        self.retry_policy = retry_policy
+        self.fault_stats = FaultStats()
         self.film = FilmSource(payload_bytes, film_seed)
         self.payload_bytes = payload_bytes
-        slots = n_stripes * layout.rows
         self.content = np.zeros(
             (layout.n_disks + spares, slots, payload_bytes), dtype=np.uint8
         )
         self._decoded: set[tuple[int, tuple[int, ...]]] = set()
+        #: disks killed by scheduled :class:`DiskFailure` events, in
+        #: death order; content snapshots taken at the moment of death
+        self._dead_disks: list[int] = []
+        self._death_snapshots: dict[int, np.ndarray] = {}
+        self._death_times: dict[int, float] = {}
+        self._rebuilding: tuple[int, ...] = ()
         self._init_content()
+        if fault_plan is not None:
+            for df in fault_plan.disk_failures:
+                self.array.sim.schedule(
+                    df.time_s, lambda d=df.disk: self._on_disk_death(d)
+                )
+
+    def _on_disk_death(self, disk: int) -> None:
+        """A scheduled whole-disk failure fires: the bytes are gone."""
+        if disk in self._dead_disks or disk in self._rebuilding:
+            return
+        self._death_snapshots[disk] = self.content[disk].copy()
+        self._death_times[disk] = self.array.now
+        self.content[disk] = 0xDD
+        self._dead_disks.append(disk)
 
     # ==================================================================
     # placement and content
@@ -226,6 +366,100 @@ class RaidController:
         )
         return self.layout.reconstruction_plan(logical)
 
+    def _submit_reads_with_retry(
+        self,
+        cells,
+        tag: str,
+        on_settled: Callable[[list[IORequest]], None],
+        priority: int = 10,
+    ) -> None:
+        """Submit element reads, retrying per the controller's policy.
+
+        Transient errors and (when a timeout is configured) too-slow
+        reads are resubmitted with exponential backoff priced in
+        simulated time.  ``on_settled`` fires once every read has
+        either succeeded or exhausted its retries, receiving the
+        requests that still carry an error.  A read that only ran out
+        of *timeout* retries is accepted — the bytes did arrive, late —
+        and counted in ``fault_stats.slow_reads_accepted``.
+        """
+        policy = self.retry_policy
+        stats = self.fault_stats
+        failed: list[IORequest] = []
+        state = {"outstanding": 0, "primed": False}
+
+        def settle_check() -> None:
+            if state["primed"] and state["outstanding"] == 0:
+                on_settled(failed)
+
+        def cb(req: IORequest) -> None:
+            state["outstanding"] -= 1
+            timed_out = (
+                policy is not None
+                and policy.timeout_s is not None
+                and not req.error
+                and req.latency > policy.timeout_s
+            )
+            if timed_out:
+                stats.timeouts += 1
+            retryable = (req.error and req.error_kind == "transient") or timed_out
+            if policy is not None and retryable and req.attempt + 1 < policy.max_attempts:
+                delay = policy.backoff_s(req.attempt)
+                stats.retries += 1
+                stats.backoff_time_s += delay
+                retry = IORequest(
+                    disk=req.disk,
+                    offset=req.offset,
+                    size=req.size,
+                    kind=req.kind,
+                    priority=req.priority,
+                    tag=req.tag,
+                    attempt=req.attempt + 1,
+                )
+                state["outstanding"] += 1
+                self.array.sim.schedule(delay, lambda: self.array.submit(retry, cb))
+                return
+            if req.error:
+                if retryable:  # out of attempts on a retryable error
+                    stats.abandoned_requests += 1
+                failed.append(req)
+            elif timed_out:
+                stats.slow_reads_accepted += 1
+            settle_check()
+
+        reqs = self.array.submit_elements(
+            cells, IOKind.READ, priority=priority, tag=tag, callback=cb
+        )
+        state["outstanding"] += len(reqs)
+        state["primed"] = True
+        if not reqs:
+            on_settled([])
+
+    def _record_loss(self, disks, stripe: int, lost, stats: FaultStats) -> None:
+        for d in disks:
+            if (d, stripe) not in lost:
+                lost.append((d, stripe))
+                stats.data_loss_events += 1
+
+    def _group_rebuild_work(self, tracked, completed, lost):
+        """Stripes still to rebuild, grouped by their active failure set.
+
+        After a mid-rebuild failure the already-rebuilt stripes of the
+        first disk see a *different* failure set than the rest — each
+        group gets its own reconstruction plans.
+        """
+        lost_set = set(lost)
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for s in range(self.n_stripes):
+            active = tuple(
+                d
+                for d in sorted(tracked)
+                if s not in completed[d] and (d, s) not in lost_set
+            )
+            if active:
+                groups.setdefault(active, []).append(s)
+        return list(groups.items())
+
     def rebuild(
         self,
         failed_disks,
@@ -233,6 +467,7 @@ class RaidController:
         verify: bool = True,
         write_spare: bool = False,
         throttle_delay_s: float = 0.0,
+        resume_from: RebuildCheckpoint | None = None,
     ) -> RebuildResult:
         """Reconstruct the failed *physical* disks across every stripe.
 
@@ -252,8 +487,17 @@ class RaidController:
         optimisations [10, 11]; ``benchmarks/bench_ablation_throttle.py``
         measures exactly that interaction.
 
+        With a fault plan active, reads run under the retry policy, and
+        a disk that dies mid-rebuild enlarges the failure set on the
+        fly: stripes are regrouped by their *remaining* failures and
+        re-planned (RAID 6 / mirror-parity survive; a plain mirror's
+        overlapping columns become counted data-loss events instead of
+        an exception).  ``resume_from`` restarts an interrupted rebuild
+        from its checkpoint, redoing only the remainder.
+
         Returns aggregate timing plus the byte-for-byte verification
-        verdict (the paper's §VII-A post-check).
+        verdict (the paper's §VII-A post-check) and the run's
+        :class:`FaultStats`.
         """
         failed = tuple(sorted(set(failed_disks)))
         for f in failed:
@@ -264,34 +508,241 @@ class RaidController:
                 f"rebuild of {len(failed)} disks to spares needs >= {len(failed)} "
                 f"spares, have {self.spares}"
             )
-        plans = [self.stripe_plan(s, failed) for s in range(self.n_stripes)]
-        phase_lists = [split_into_phases(p) for p in plans]
-        n_phases = len(failed)
-        # snapshot the lost content, then destroy it
-        snapshots = {f: self.content[f].copy() for f in failed}
-        for f in failed:
-            self.content[f] = 0xDD
+        counting = self.active_faults is not None
+        stats = FaultStats()
+        self.fault_stats = stats
+        healed_before = self.lse.healed_count if self.lse is not None else 0
+
+        completed: dict[int, set[int]] = {f: set() for f in failed}
+        lost: list[tuple[int, int]] = []
+        if resume_from is not None:
+            for d, done in resume_from.completed.items():
+                completed.setdefault(d, set()).update(done)
+            lost.extend(resume_from.lost)
+            for d, s in resume_from.lost:
+                completed.setdefault(d, set())
+        tracked: list[int] = sorted(completed)
+
+        # snapshot the lost content, then destroy the part still to do
+        snapshots = {f: self.content[f].copy() for f in tracked}
+        for f in tracked:
+            if not completed[f]:
+                self.content[f] = 0xDD
+                continue
+            for s in range(self.n_stripes):
+                if s in completed[f]:
+                    continue
+                for row in range(self.layout.rows):
+                    self.content[f, self.stack.element_offset(s, row)] = 0xDD
 
         start = self.array.now
+        n_completed_before = len(self.array.sim.completed)
         bytes_read_before = self.array.sim.total_bytes_read
         bytes_written_before = self.array.sim.total_bytes_written
         spare_of = {f: self.layout.n_disks + k for k, f in enumerate(failed)}
+        self._rebuilding = tuple(tracked)
+        max_accesses = 0
+        try:
+            while True:
+                groups = self._group_rebuild_work(tracked, completed, lost)
+                if not groups:
+                    break
+                for fset, stripes in groups:
+                    max_accesses = max(
+                        max_accesses,
+                        self._rebuild_pass(
+                            fset,
+                            stripes,
+                            completed,
+                            lost,
+                            stats,
+                            window,
+                            write_spare,
+                            spare_of,
+                            throttle_delay_s,
+                            counting,
+                        ),
+                    )
+                    # a death is only *this* rebuild's problem if it fired
+                    # while rebuild I/O was still in flight; the event
+                    # drain also pops deaths scheduled far in the future
+                    last_io = max(
+                        (
+                            r.finish_time
+                            for r in self.array.sim.completed[n_completed_before:]
+                        ),
+                        default=start,
+                    )
+                    new_dead = [
+                        d
+                        for d in self._dead_disks
+                        if d not in tracked
+                        and d < self.layout.n_disks
+                        and self._death_times[d] <= last_io
+                    ]
+                    if new_dead:
+                        for d in new_dead:
+                            tracked.append(d)
+                            completed.setdefault(d, set())
+                            snapshots[d] = self._death_snapshots[d]
+                        tracked.sort()
+                        self._rebuilding = tuple(tracked)
+                        stats.mid_rebuild_failures = tuple(
+                            sorted(set(stats.mid_rebuild_failures) | set(new_dead))
+                        )
+                        break  # regroup with the enlarged failure set
+        finally:
+            self._rebuilding = ()
+
+        if self.fault_plan is not None:
+            # death events may advance the clock far past the last I/O;
+            # price the rebuild by its actual request completions
+            reqs = self.array.sim.completed[n_completed_before:]
+            makespan = max((r.finish_time for r in reqs), default=start) - start
+        else:
+            makespan = self.array.now - start
+        bytes_read = self.array.sim.total_bytes_read - bytes_read_before
+        bytes_written = self.array.sim.total_bytes_written - bytes_written_before
+        recovered = (
+            sum(len(v) for v in completed.values())
+            * self.layout.rows
+            * self.array.element_size
+        )
+        if not verify:
+            verified = True
+        elif lost:
+            verified = False
+        elif resume_from is not None:
+            # the pre-resume snapshot holds destroyed bytes for the
+            # remainder; check global redundancy consistency instead
+            verified = self.verify_redundancy()
+        else:
+            verified = all(
+                np.array_equal(self.content[d], snapshots[d]) for d in tracked
+            )
+        stats.healed_lses = (
+            self.lse.healed_count - healed_before if self.lse is not None else 0
+        )
+        if self.active_faults is not None:
+            stats.transient_errors = self.active_faults.counters.transient_errors
+        stats.lost_columns = list(lost)
+        fully_restored = not lost and all(
+            len(completed[d]) == self.n_stripes for d in tracked
+        )
+        checkpoint = None
+        if not fully_restored:
+            checkpoint = RebuildCheckpoint(
+                failed_disks=tuple(tracked),
+                n_stripes=self.n_stripes,
+                completed={d: frozenset(v) for d, v in completed.items()},
+                lost=tuple(lost),
+            )
+        return RebuildResult(
+            failed_disks=failed,
+            makespan_s=makespan,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            read_throughput_mbps=(bytes_read / _MB / makespan) if makespan > 0 else 0.0,
+            recovered_bytes=recovered,
+            recovered_throughput_mbps=(recovered / _MB / makespan) if makespan > 0 else 0.0,
+            verified=verified,
+            max_read_accesses_per_stripe=max_accesses,
+            fault_stats=stats,
+            checkpoint=checkpoint,
+            aborted=bool(lost),
+        )
+
+    def _rebuild_pass(
+        self,
+        fset,
+        stripes,
+        completed,
+        lost,
+        stats: FaultStats,
+        window: int,
+        write_spare: bool,
+        spare_of,
+        throttle_delay_s: float,
+        counting: bool,
+    ) -> int:
+        """One phased rebuild sweep of ``stripes`` for failure set ``fset``.
+
+        Stops seeding new work as soon as an additional disk death is
+        detected — the caller regroups the remainder under the enlarged
+        failure set.  Returns the stripes' max parallel-read-access
+        count (the paper's Table access metric).
+        """
+        fset = tuple(sorted(fset))
+        dead_before = len(self._dead_disks)
+
+        plans: dict[int, ReconstructionPlan] = {}
+        phase_lists: dict[int, list[RebuildPhase]] = {}
+        plannable: list[int] = []
+        for s in stripes:
+            try:
+                plan = self.stripe_plan(s, fset)
+            except UnrecoverableFailureError:
+                if not counting:
+                    raise
+                self._record_loss(fset, s, lost, stats)
+                continue
+            plans[s] = plan
+            phase_lists[s] = split_into_phases(plan)
+            plannable.append(s)
+        max_accesses = max((p.num_read_accesses for p in plans.values()), default=0)
+        n_phases = len(fset)
+        dead_stripes: set[int] = set()
+
+        def interrupted() -> bool:
+            return len(self._dead_disks) > dead_before
+
+        def fail_stripe_from(stripe: int, from_idx: int) -> None:
+            """Lose the stripe's current and dependent later phases."""
+            for k in range(from_idx, n_phases):
+                ph = phase_lists[stripe][k]
+                pfk = self.stack.physical_disk(stripe, ph.failed_disk)
+                self._record_loss((pfk,), stripe, lost, stats)
+            dead_stripes.add(stripe)
 
         for phase_idx in range(n_phases):
-            pending = list(range(self.n_stripes))
+            if interrupted():
+                break
+            pending = [s for s in plannable if s not in dead_stripes]
 
-            def start_stripe(stripe: int, phase_idx: int = phase_idx) -> None:
+            def start_stripe(
+                stripe: int,
+                phase_idx: int = phase_idx,
+                pending: list[int] = pending,
+            ) -> None:
                 phase: RebuildPhase = phase_lists[stripe][phase_idx]
                 plan = plans[stripe]
-                reads = [
-                    self.place(stripe, (disk, row))
-                    for disk, rows in phase.reads.items()
-                    for row in rows
-                ]
+                phys_to_cell: dict[tuple[int, int], tuple[int, int]] = {}
+                reads = []
+                for disk, rows in phase.reads.items():
+                    for row in rows:
+                        pd, slot = self.place(stripe, (disk, row))
+                        phys_to_cell[(pd, slot)] = (disk, row)
+                        reads.append((pd, slot))
+                pf = self.stack.physical_disk(stripe, phase.failed_disk)
 
-                def after_recovery() -> None:
-                    if write_spare:
-                        pf = self.stack.physical_disk(stripe, phase.failed_disk)
+                def next_stripe() -> None:
+                    while pending and not interrupted():
+                        s = pending.pop(0)
+                        if s in dead_stripes:
+                            continue
+                        start_stripe(s, phase_idx, pending)
+                        return
+
+                def finish_ok() -> None:
+                    completed[pf].add(stripe)
+                    if self.lse is not None:
+                        # every sector of the rebuilt column was just
+                        # rewritten (or lives on a fresh spare): latent
+                        # errors recorded there die with the old media
+                        for r in range(self.layout.rows):
+                            _, slot = self.place(stripe, (phase.failed_disk, r))
+                            self.lse.heal(pf, slot)
+                    if write_spare and pf in spare_of:
                         writes = [
                             (spare_of[pf], self.place(stripe, (phase.failed_disk, r))[1])
                             for r in range(self.layout.rows)
@@ -299,39 +750,76 @@ class RaidController:
                         self.array.submit_elements(
                             writes, IOKind.WRITE, tag="rebuild-write"
                         )
-                    if pending:
-                        start_stripe(pending.pop(0))
+                    next_stripe()
 
-                def on_done() -> None:
+                def on_settled(failed_reqs: list[IORequest]) -> None:
                     bad = self._bad_source_cells(stripe, phase)
-                    if bad:
-                        steps, extra = self._lse_substitute(stripe, plan, phase, bad)
-                        extra_phys = sorted(
-                            {
-                                self.place(stripe, c)
-                                for c in extra
-                                if c[0] not in plan.failed_disks
-                            }
-                        )
-
-                        def finish() -> None:
-                            self._apply_steps(stripe, plan, steps)
-                            after_recovery()
-
-                        self.array.submit_elements(
-                            extra_phys,
-                            IOKind.READ,
-                            tag="lse-fallback",
-                            on_complete=finish,
-                        )
+                    dead = set(self._dead_disks)
+                    for req in failed_reqs:
+                        first = req.offset // self.array.element_size
+                        last = (req.offset + req.size - 1) // self.array.element_size
+                        for slot in range(first, last + 1):
+                            cell = phys_to_cell.get((req.disk, slot))
+                            if cell is not None:
+                                bad.add(cell)
+                    # sources whose disk died after the reads were
+                    # issued: the store no longer holds their bytes
+                    for disk, rows in phase.reads.items():
+                        for row in rows:
+                            if self.place(stripe, (disk, row))[0] in dead:
+                                bad.add((disk, row))
+                    if not bad:
+                        self._apply_phase(stripe, plan, phase)
+                        finish_ok()
                         return
-                    self._apply_phase(stripe, plan, phase)
-                    after_recovery()
+                    try:
+                        steps, extra = self._lse_substitute(
+                            stripe, plan, phase, bad, dead_physical=dead
+                        )
+                    except UnrecoverableFailureError:
+                        dead_driven = any(
+                            c[0] not in plan.failed_disks
+                            and self.place(stripe, c)[0] in dead
+                            for c in bad
+                        )
+                        if counting and dead_driven and interrupted():
+                            # recoverable once the caller regroups with
+                            # the enlarged failure set — defer, not lose
+                            next_stripe()
+                            return
+                        if not counting:
+                            raise
+                        fail_stripe_from(stripe, phase_idx)
+                        next_stripe()
+                        return
+                    stats.rerouted_reads += len(bad)
+                    extra_phys = sorted(
+                        {
+                            self.place(stripe, c)
+                            for c in extra
+                            if c[0] not in plan.failed_disks
+                        }
+                    )
+
+                    def finish_fallback(fb_failed: list[IORequest]) -> None:
+                        if fb_failed:
+                            if not counting:
+                                raise UnrecoverableFailureError(
+                                    f"fallback sources unreadable during "
+                                    f"reconstruction of stripe {stripe}"
+                                )
+                            fail_stripe_from(stripe, phase_idx)
+                            next_stripe()
+                            return
+                        self._apply_steps(stripe, plan, steps)
+                        finish_ok()
+
+                    self._submit_reads_with_retry(
+                        extra_phys, "lse-fallback", finish_fallback
+                    )
 
                 def submit() -> None:
-                    self.array.submit_elements(
-                        reads, IOKind.READ, tag="rebuild", on_complete=on_done
-                    )
+                    self._submit_reads_with_retry(reads, "rebuild", on_settled)
 
                 if throttle_delay_s > 0:
                     self.array.sim.schedule(throttle_delay_s, submit)
@@ -343,27 +831,7 @@ class RaidController:
                 start_stripe(pending.pop(0))
                 seeded += 1
             self.array.run()  # phase barrier
-
-        makespan = self.array.now - start
-        bytes_read = self.array.sim.total_bytes_read - bytes_read_before
-        bytes_written = self.array.sim.total_bytes_written - bytes_written_before
-        recovered = (
-            len(failed) * self.n_stripes * self.layout.rows * self.array.element_size
-        )
-        verified = all(
-            np.array_equal(self.content[f], snapshots[f]) for f in failed
-        ) if verify else True
-        return RebuildResult(
-            failed_disks=failed,
-            makespan_s=makespan,
-            bytes_read=bytes_read,
-            bytes_written=bytes_written,
-            read_throughput_mbps=(bytes_read / _MB / makespan) if makespan > 0 else 0.0,
-            recovered_bytes=recovered,
-            recovered_throughput_mbps=(recovered / _MB / makespan) if makespan > 0 else 0.0,
-            verified=verified,
-            max_read_accesses_per_stripe=max(p.num_read_accesses for p in plans),
-        )
+        return max_accesses
 
     # ------------------------------------------------------------------
     # latent sector error handling (see repro.disksim.faults)
@@ -386,6 +854,7 @@ class RaidController:
         plan: ReconstructionPlan,
         phase: RebuildPhase,
         bad: set[tuple[int, int]],
+        dead_physical: set[int] | None = None,
     ) -> tuple[list[RecoveryStep], list[tuple[int, int]]]:
         """Re-route recovery steps around unreadable source elements.
 
@@ -394,12 +863,14 @@ class RaidController:
         paths: the plain mirror method *loses data* when its single
         replica is unreadable — precisely the LSE-during-reconstruction
         hazard §I cites — and the parity variant survives through the
-        parity path.
+        parity path.  ``dead_physical`` disks (killed mid-rebuild) are
+        never usable substitutes.
         """
         lay = self.layout
         failed = set(plan.failed_disks)
         phase_rank = {f: k for k, f in enumerate(plan.failed_disks)}
         current_rank = phase_rank[phase.failed_disk]
+        dead = dead_physical if dead_physical is not None else set()
 
         def usable(cell: tuple[int, int]) -> bool:
             """A substitute source must be readable now."""
@@ -409,6 +880,8 @@ class RaidController:
                 # only elements recovered by an *earlier* phase exist
                 return phase_rank[cell[0]] < current_rank
             pd, slot = self.place(stripe, cell)
+            if pd in dead:
+                return False
             return self.lse is None or not self.lse.is_bad(pd, slot)
 
         new_steps: list[RecoveryStep] = []

@@ -19,7 +19,7 @@ write-while-degraded-then-resync cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -268,14 +268,4 @@ class DegradedArray:
         verified = verified and ctrl.verify_redundancy()
         self.dirty.clear()
         self._resynced = True
-        return RebuildResult(
-            failed_disks=result.failed_disks,
-            makespan_s=result.makespan_s,
-            bytes_read=result.bytes_read,
-            bytes_written=result.bytes_written,
-            read_throughput_mbps=result.read_throughput_mbps,
-            recovered_bytes=result.recovered_bytes,
-            recovered_throughput_mbps=result.recovered_throughput_mbps,
-            verified=verified,
-            max_read_accesses_per_stripe=result.max_read_accesses_per_stripe,
-        )
+        return replace(result, verified=verified)

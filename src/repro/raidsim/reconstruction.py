@@ -29,11 +29,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.errors import UnrecoverableFailureError
 from ..core.layouts import MirrorParityLayout, RAID5Layout, RAID6Layout
 from ..disksim.request import IOKind
 from ..disksim.scheduler import PriorityScheduler
 from ..workloads.generator import UserRead
-from .controller import RaidController, RebuildResult
+from .controller import FaultStats, RaidController, RebuildResult
 
 __all__ = ["OnlineResult", "OnlineReconstruction", "degraded_read_sources"]
 
@@ -48,6 +49,11 @@ class OnlineResult:
     p95_user_latency_s: float
     max_user_latency_s: float
     degraded_reads: int
+    #: the rebuild's retry/reroute/loss counters (user reads run under
+    #: the same policy, so their retries land here too)
+    fault_stats: FaultStats | None = None
+    #: user reads that still failed after all retries and re-routing
+    failed_user_reads: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -90,8 +96,6 @@ def degraded_read_sources(layout, failed: set[int], i: int, j: int) -> list[tupl
             if d not in failed
             for r in range(layout.rows)
         ]
-    from ..core.errors import UnrecoverableFailureError
-
     raise UnrecoverableFailureError(
         f"no surviving source for data element ({i}, {j}) under failures {sorted(failed)}"
     )
@@ -135,6 +139,7 @@ class OnlineReconstruction:
         self.throttle_delay_s = throttle_delay_s
         self._latencies: list[float] = []
         self._degraded = 0
+        self._failed_reads = 0
 
     # ------------------------------------------------------------------
     def run(self) -> OnlineResult:
@@ -155,12 +160,44 @@ class OnlineReconstruction:
                 cells = [ctrl.place(read.stripe, c) for c in sources]
                 t0 = ctrl.array.now
 
-                def done() -> None:
-                    self._latencies.append(ctrl.array.now - t0)
+                if ctrl.retry_policy is not None:
+                    def settled(failed_reqs, rerouted: bool = False) -> None:
+                        if failed_reqs and not rerouted:
+                            # retries exhausted: re-plan through the
+                            # next-cheapest source set, counting disks
+                            # that died since the read was planned
+                            bigger = {
+                                ctrl.stack.logical_disk(read.stripe, f)
+                                for f in failed_set | set(ctrl._dead_disks)
+                            }
+                            try:
+                                alt = degraded_read_sources(
+                                    ctrl.layout, bigger, read.i, read.j
+                                )
+                            except UnrecoverableFailureError:
+                                alt = None
+                            if alt is not None and alt != sources:
+                                ctrl.fault_stats.rerouted_reads += 1
+                                ctrl._submit_reads_with_retry(
+                                    [ctrl.place(read.stripe, c) for c in alt],
+                                    "user",
+                                    lambda fr: settled(fr, rerouted=True),
+                                    priority=0,
+                                )
+                                return
+                        self._latencies.append(ctrl.array.now - t0)
+                        self._failed_reads += len(failed_reqs)
 
-                ctrl.array.submit_elements(
-                    cells, IOKind.READ, priority=0, tag="user", on_complete=done
-                )
+                    ctrl._submit_reads_with_retry(
+                        cells, "user", settled, priority=0
+                    )
+                else:
+                    def done() -> None:
+                        self._latencies.append(ctrl.array.now - t0)
+
+                    ctrl.array.submit_elements(
+                        cells, IOKind.READ, priority=0, tag="user", on_complete=done
+                    )
 
             ctrl.array.sim.schedule(max(0.0, read.time - ctrl.array.now), fire)
 
@@ -169,6 +206,8 @@ class OnlineReconstruction:
         rebuild = ctrl.rebuild(
             self.failed, window=self.window, throttle_delay_s=self.throttle_delay_s
         )
+        # settle user reads arriving after the rebuild's last event
+        ctrl.array.run()
 
         lat = np.array(self._latencies) if self._latencies else np.zeros(1)
         return OnlineResult(
@@ -178,4 +217,6 @@ class OnlineReconstruction:
             p95_user_latency_s=float(np.percentile(lat, 95)),
             max_user_latency_s=float(lat.max()),
             degraded_reads=self._degraded,
+            fault_stats=rebuild.fault_stats,
+            failed_user_reads=self._failed_reads,
         )

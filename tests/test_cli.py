@@ -122,3 +122,41 @@ def test_svg_command(capsys, tmp_path):
     rc, out = run_cli(capsys, "svg", "--outdir", str(tmp_path), "--quick")
     assert rc == 0
     assert out.count("wrote ") == 5
+
+
+def test_faultcampaign_command(capsys):
+    rc, out = run_cli(capsys, "faultcampaign", "--family", "mirror-parity",
+                      "--n", "3", "--stripes", "4")
+    assert rc == 0
+    assert "Fault campaign (seed 2012) on mirror-parity at n=3:" in out
+    assert "mirror-parity:" in out and "shifted-mirror-parity:" in out
+    assert "availability delta (shifted - traditional):" in out
+    assert "mid-rebuild failures:" in out
+
+
+def test_faultcampaign_without_second_failure(capsys):
+    rc, out = run_cli(capsys, "faultcampaign", "--family", "mirror",
+                      "--n", "3", "--stripes", "4", "--second-failure-at", "0")
+    assert rc == 0
+    assert "second failure" not in out
+    assert "mid-rebuild failures" not in out
+
+
+def test_domain_error_is_reported_not_raised(capsys):
+    # a LayoutError inside a subcommand must become exit code 2 with a
+    # one-line message on stderr, never a traceback
+    rc = main(["plan", "--layout", "mirror-parity", "--n", "1",
+               "--failed", "0"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert captured.err.startswith("error: ")
+    assert "needs n >= 2" in captured.err
+
+
+def test_faultcampaign_rejects_bad_rate_gracefully(capsys):
+    rc = main(["faultcampaign", "--family", "mirror", "--n", "3",
+               "--stripes", "4", "--transient-rate", "1.5"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert captured.err.startswith("error: ")
+    assert "transient rate" in captured.err

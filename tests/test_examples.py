@@ -61,3 +61,11 @@ def test_online_video_server():
     out = _run("online_video_server.py")
     assert "shifted mirror" in out
     assert "viewer latency" in out
+
+
+@pytest.mark.slow
+def test_fault_campaign():
+    out = _run("fault_campaign.py")
+    assert "clean rebuild of disk 0" in out
+    assert "availability delta (shifted - traditional):" in out
+    assert "rebuild speedup" in out
