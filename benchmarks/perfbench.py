@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Perf-regression harness: time the simulator's hot kernels.
+
+Unlike the ``bench_*`` pytest-benchmark files (which regenerate paper
+artifacts), this is a plain script that times the *engine itself* and
+appends a run record to a trajectory file, so speedups and regressions
+are visible across commits::
+
+    PYTHONPATH=src python benchmarks/perfbench.py               # full scale
+    PYTHONPATH=src python benchmarks/perfbench.py --tiny        # CI smoke
+    PYTHONPATH=src python benchmarks/perfbench.py --out my.json --no-append
+
+Kernels:
+
+* ``rebuild_cached``      — 1024-stripe single-failure rebuild, plan cache on
+* ``rebuild_nocache``     — same rebuild with ``plan_cache=False`` (ablation)
+* ``engine_elevator``     — raw event-engine throughput, elevator scheduling
+* ``plan_generation``     — reconstruction plans for every 2-failure set
+* ``campaign_serial``     — 16-seed compare_sweep, ``jobs=1``
+* ``campaign_parallel``   — the same sweep fanned over every core
+
+Derived ratios land in the record too: ``plan_cache_speedup``
+(nocache / cached) and ``parallel_speedup`` (serial / parallel).
+Gate a run against a baseline with ``tools/bench_compare.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.layouts import shifted_mirror_parity  # noqa: E402
+from repro.disksim.array import ElementArray  # noqa: E402
+from repro.disksim.disk import DiskParameters  # noqa: E402
+from repro.disksim.request import IOKind  # noqa: E402
+from repro.disksim.scheduler import ElevatorScheduler  # noqa: E402
+from repro.raidsim.campaign import compare_sweep  # noqa: E402
+from repro.raidsim.controller import RaidController  # noqa: E402
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_simperf.json"
+
+
+# ----------------------------------------------------------------------
+# kernels — each returns elapsed seconds for one execution
+# ----------------------------------------------------------------------
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def kernel_rebuild(n_stripes: int, plan_cache: bool) -> float:
+    """Single-threaded rebuild; controller construction excluded."""
+    ctrl = RaidController(
+        shifted_mirror_parity(5),
+        n_stripes=n_stripes,
+        payload_bytes=8,
+        plan_cache=plan_cache,
+    )
+    return _time(lambda: ctrl.rebuild((0,), verify=False))
+
+
+def kernel_engine(n_requests: int) -> float:
+    """Raw submit/run throughput through the elevator scheduler."""
+    import numpy as np
+
+    arr = ElementArray(
+        8, 4 * 1024 * 1024, DiskParameters.savvio_10k3(), ElevatorScheduler
+    )
+    rng = np.random.default_rng(0)
+    disks = rng.integers(0, 8, size=n_requests)
+    offsets = rng.integers(0, 512, size=n_requests)
+
+    def drive() -> None:
+        for d, off in zip(disks, offsets):
+            arr.submit(arr.element_request(int(d), int(off), IOKind.READ))
+        arr.run()
+
+    return _time(drive)
+
+
+def kernel_plans() -> float:
+    layout = shifted_mirror_parity(7)
+
+    def plans() -> None:
+        for failed in layout.all_failure_sets(2):
+            layout.reconstruction_plan(failed)
+
+    return _time(plans)
+
+
+def kernel_campaign(n_seeds: int, n_stripes: int, jobs: int | None) -> float:
+    return _time(
+        lambda: compare_sweep(
+            "mirror", 4, n_seeds=n_seeds, n_stripes=n_stripes, jobs=jobs
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+
+def run_suite(tiny: bool, repeats: int) -> dict:
+    """Best-of-``repeats`` seconds per kernel, plus derived ratios."""
+    scale = {
+        "rebuild_stripes": 64 if tiny else 1024,
+        "engine_requests": 2000 if tiny else 20000,
+        "sweep_seeds": 4 if tiny else 16,
+        "sweep_stripes": 4 if tiny else 12,
+    }
+
+    def best(fn) -> float:
+        return min(fn() for _ in range(repeats))
+
+    kernels: dict[str, float] = {}
+    print(f"perfbench ({'tiny' if tiny else 'full'} scale, best of {repeats})")
+    kernels["rebuild_cached"] = best(
+        lambda: kernel_rebuild(scale["rebuild_stripes"], plan_cache=True)
+    )
+    print(f"  rebuild_cached    {kernels['rebuild_cached']:.3f} s")
+    kernels["rebuild_nocache"] = best(
+        lambda: kernel_rebuild(scale["rebuild_stripes"], plan_cache=False)
+    )
+    print(f"  rebuild_nocache   {kernels['rebuild_nocache']:.3f} s")
+    kernels["engine_elevator"] = best(
+        lambda: kernel_engine(scale["engine_requests"])
+    )
+    print(f"  engine_elevator   {kernels['engine_elevator']:.3f} s")
+    kernels["plan_generation"] = best(kernel_plans)
+    print(f"  plan_generation   {kernels['plan_generation']:.3f} s")
+    # the sweep pair runs once each: the pool spin-up is part of the cost
+    kernels["campaign_serial"] = kernel_campaign(
+        scale["sweep_seeds"], scale["sweep_stripes"], jobs=1
+    )
+    print(f"  campaign_serial   {kernels['campaign_serial']:.3f} s")
+    kernels["campaign_parallel"] = kernel_campaign(
+        scale["sweep_seeds"], scale["sweep_stripes"], jobs=0
+    )
+    print(f"  campaign_parallel {kernels['campaign_parallel']:.3f} s")
+
+    derived = {
+        "plan_cache_speedup": kernels["rebuild_nocache"]
+        / max(kernels["rebuild_cached"], 1e-9),
+        "parallel_speedup": kernels["campaign_serial"]
+        / max(kernels["campaign_parallel"], 1e-9),
+    }
+    print(f"  plan-cache speedup {derived['plan_cache_speedup']:.2f}x, "
+          f"parallel speedup {derived['parallel_speedup']:.2f}x "
+          f"({os.cpu_count()} cores)")
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "scale": "tiny" if tiny else "full",
+        "repeats": repeats,
+        "kernels": kernels,
+        "derived": derived,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing for the serial kernels")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"trajectory file (default {DEFAULT_OUT.name})")
+    parser.add_argument("--no-append", action="store_true",
+                        help="overwrite the trajectory instead of appending")
+    args = parser.parse_args(argv)
+
+    record = run_suite(tiny=args.tiny, repeats=args.repeats)
+    runs = []
+    if not args.no_append and args.out.exists():
+        try:
+            runs = json.loads(args.out.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            print(f"warning: {args.out} unreadable, starting fresh",
+                  file=sys.stderr)
+    runs.append(record)
+    args.out.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
+    print(f"appended run #{len(runs)} to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,59 +20,12 @@ import sys
 
 import numpy as np
 
-from .core.arrangement import (
-    IdentityArrangement,
-    IteratedArrangement,
-    PermutationArrangement,
-    ShiftedArrangement,
-)
+from .core.arrangement import IdentityArrangement, IteratedArrangement
 from .core.errors import LayoutError, UnrecoverableFailureError
-from .core.layouts import (
-    Layout,
-    MirrorLayout,
-    MirrorParityLayout,
-    RAID5Layout,
-    RAID6Layout,
-    ThreeMirrorLayout,
-    XCodeLayout,
-)
 from .core.properties import property_report
+from .core.registry import LAYOUTS, build_layout
 
 __all__ = ["main", "build_layout", "LAYOUTS"]
-
-
-def _reverse_shift(n: int) -> PermutationArrangement:
-    return PermutationArrangement(
-        n, {(i, j): ((i - j) % n, i) for i in range(n) for j in range(n)}
-    )
-
-
-#: layout name -> builder taking the data-disk count
-LAYOUTS = {
-    "mirror": lambda n: MirrorLayout(n, IdentityArrangement(n)),
-    "shifted-mirror": lambda n: MirrorLayout(n, ShiftedArrangement(n)),
-    "mirror-parity": lambda n: MirrorParityLayout(n, IdentityArrangement(n)),
-    "shifted-mirror-parity": lambda n: MirrorParityLayout(n, ShiftedArrangement(n)),
-    "three-mirror": lambda n: ThreeMirrorLayout(n),
-    "shifted-three-mirror": lambda n: ThreeMirrorLayout(
-        n, ShiftedArrangement(n), _reverse_shift(n)
-    ),
-    "raid5": RAID5Layout,
-    "raid6-evenodd": lambda n: RAID6Layout(n, "evenodd"),
-    "raid6-rdp": lambda n: RAID6Layout(n, "rdp"),
-    "xcode": XCodeLayout,  # n must be prime >= 5
-}
-
-
-def build_layout(name: str, n: int) -> Layout:
-    """Instantiate a layout by CLI name."""
-    try:
-        builder = LAYOUTS[name]
-    except KeyError:
-        raise SystemExit(
-            f"unknown layout {name!r}; choose from {', '.join(sorted(LAYOUTS))}"
-        ) from None
-    return builder(n)
 
 
 # ======================================================================
@@ -173,7 +126,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.runner import run_all
 
-    for result in run_all(quick=args.quick):
+    for result in run_all(quick=args.quick, jobs=args.jobs):
         if args.only and result.experiment_id not in args.only:
             continue
         print(result)
@@ -225,6 +178,8 @@ def cmd_faultcampaign(args: argparse.Namespace) -> int:
         default_fault_plan,
     )
 
+    if args.seeds > 1:
+        return _faultcampaign_sweep(args)
     family = args.family
     trad_builder = LAYOUTS[family]
     shift_builder = LAYOUTS[f"shifted-{family}"]
@@ -282,6 +237,45 @@ def cmd_faultcampaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _faultcampaign_sweep(args: argparse.Namespace) -> int:
+    """``faultcampaign --seeds N``: many storms, fanned across ``--jobs``."""
+    from .raidsim.campaign import compare_sweep
+
+    plan_kwargs = dict(
+        lse_burst=args.lse_burst,
+        fail_slow_disk=args.fail_slow_disk,
+        fail_slow_multiplier=args.fail_slow_mult,
+        transient_rate=args.transient_rate,
+    )
+    sweep = compare_sweep(
+        args.family,
+        args.n,
+        n_seeds=args.seeds,
+        root_seed=args.seed,
+        jobs=args.jobs,
+        plan_kwargs=plan_kwargs,
+        failed_disks=(args.failed,),
+        n_stripes=args.stripes,
+        user_read_rate_per_s=args.rate,
+    )
+    print(f"Fault-campaign sweep on {args.family} at n={args.n}: "
+          f"{len(sweep)} storms from root seed {args.seed}")
+    print(f"{'seed':>6} {'avail Δ':>9} {'latency':>9} {'survival T/S':>14}")
+    for p in sweep.points:
+        c = p.comparison
+        lat = (f"{c.latency_speedup:.2f}x"
+               if c.latency_speedup != float("inf") else "inf")
+        print(f"{p.seed_index:>6} {c.availability_delta:>+9.4f} {lat:>9} "
+              f"{c.traditional.data_survival:>6.3f}/{c.shifted.data_survival:.3f}")
+    worst_t, worst_s = sweep.worst_data_survival
+    print(f"\nshifted served more reads in {sweep.shifted_wins}/{len(sweep)} storms")
+    print(f"mean availability delta: {sweep.mean_availability_delta:+.4f}")
+    print(f"mean latency speedup:    {sweep.mean_latency_speedup:.2f}x")
+    print(f"worst data survival:     traditional {worst_t:.4f}, "
+          f"shifted {worst_s:.4f}")
+    return 0
+
+
 def cmd_scrub(args: argparse.Namespace) -> int:
     from .disksim.faults import LatentSectorErrors
     from .raidsim.controller import RaidController
@@ -315,6 +309,15 @@ def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Shifted mirror disk arrays (ICPP 2012) — reproduction toolkit",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the subcommand under cProfile and print the top "
+             "cumulative entries to stderr",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="FILE", default=None,
+        help="with --profile, dump raw pstats to FILE instead of printing",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -357,6 +360,8 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true")
     p.add_argument("--only", nargs="+", metavar="ID",
                    help="restrict to experiment ids (table1 fig7 fig8 fig9a fig9b fig10a fig10b ext-three-mirror)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="fan experiments across this many processes (0 = all cores)")
     p.set_defaults(func=cmd_experiments)
 
     p = sub.add_parser("svg", help="render Figs. 7/9/10 as SVG files")
@@ -394,6 +399,12 @@ def _parser() -> argparse.ArgumentParser:
                    help="second failure as a fraction of the clean rebuild "
                         "makespan (negative or omitted value disables)")
     p.add_argument("--rate", type=float, default=30.0, help="user reads per second")
+    p.add_argument("--seeds", type=int, default=1,
+                   help="run a sweep of this many independent seeded storms "
+                        "(derived from --seed via SeedSequence.spawn); "
+                        "the second-failure knobs apply to single runs only")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="processes for --seeds sweeps (0 = all cores)")
     p.set_defaults(func=cmd_faultcampaign)
 
     p = sub.add_parser("scrub", help="inject latent sector errors and scrub them")
@@ -410,11 +421,29 @@ def _parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     args = _parser().parse_args(argv)
     try:
+        if args.profile:
+            return _run_profiled(args)
         return args.func(args)
     except (ValueError, NotImplementedError, LayoutError, UnrecoverableFailureError) as exc:
         # domain errors become a one-line message, not a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _run_profiled(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    rc = profiler.runcall(args.func, args)
+    profiler.create_stats()
+    if args.profile_out:
+        pstats.Stats(profiler).dump_stats(args.profile_out)
+        print(f"profile written to {args.profile_out}", file=sys.stderr)
+    else:
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,7 @@ from .layouts import (
     traditional_mirror,
     traditional_mirror_parity,
 )
+from .plancache import PlanCache
 from .planner import schedule_read_rounds, schedule_rounds, schedule_write_rounds
 from .properties import (
     is_equally_powerful,
@@ -76,6 +77,7 @@ __all__ = [
     "RecoveryMethod",
     "RecoveryStep",
     "WritePlan",
+    "PlanCache",
     "RotatedStack",
     "schedule_rounds",
     "schedule_read_rounds",

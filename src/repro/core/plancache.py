@@ -1,0 +1,136 @@
+"""Memoised reconstruction plans, phases and read rounds.
+
+A rebuild derives, for every stripe, a
+:class:`~repro.core.reconstruction.ReconstructionPlan` from the
+stripe's *logical* failure set — but the logical set is the only input:
+two stripes whose rotation maps the same physical failures onto the
+same logical disks get byte-identical plans.  A rotated stack has at
+most ``n_disks`` distinct logical sets (exactly one without rotation),
+yet the executor used to re-derive the plan and re-split it into
+phases once per stripe — thousands of identical derivations in a
+large array.
+
+:class:`PlanCache` computes each equivalence class once.  Correctness
+is keyed entirely on the logical failure tuple, so a *growing* failure
+set (a disk dying mid-rebuild) simply lands in a new cache slot — but
+:meth:`invalidate` exists as an explicit hook and the rebuild executor
+calls it whenever the failure set changes, keeping the cache small and
+making the invalidation point obvious for future layouts whose plans
+might depend on state beyond the failure set.
+
+Cached objects are **shared**: callers must treat plans, phase lists
+and rounds as immutable (the executor already does — substituted
+recovery steps are built as fresh lists).
+"""
+
+from __future__ import annotations
+
+from .errors import UnrecoverableFailureError
+from .layouts import Layout
+from .planner import schedule_read_rounds
+from .reconstruction import RebuildPhase, ReconstructionPlan, split_into_phases
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Per-layout memo of reconstruction plans keyed by logical failures.
+
+    Parameters
+    ----------
+    layout:
+        The architecture whose plans are cached.  The cache must not be
+        shared between layouts.
+    enabled:
+        ``False`` turns every lookup into a recomputation — the switch
+        ``benchmarks/perfbench.py`` uses to price the cache itself.
+    """
+
+    __slots__ = (
+        "layout",
+        "enabled",
+        "hits",
+        "misses",
+        "_plans",
+        "_phases",
+        "_rounds",
+        "_unrecoverable",
+    )
+
+    def __init__(self, layout: Layout, enabled: bool = True) -> None:
+        self.layout = layout
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._plans: dict[tuple[int, ...], ReconstructionPlan] = {}
+        self._phases: dict[tuple[int, ...], list[RebuildPhase]] = {}
+        self._rounds: dict[tuple[int, ...], list[list[tuple[int, int]]]] = {}
+        #: failure sets known to be beyond the layout's tolerance,
+        #: mapped to the planner's original message — counting-mode
+        #: rebuilds probe these once per stripe, so negative results
+        #: are cached too
+        self._unrecoverable: dict[tuple[int, ...], str] = {}
+
+    # ------------------------------------------------------------------
+    def plan(self, failed_logical: tuple[int, ...]) -> ReconstructionPlan:
+        """The (shared, treat-as-immutable) plan for a logical failure set."""
+        failed_logical = tuple(failed_logical)
+        if not self.enabled:
+            return self.layout.reconstruction_plan(failed_logical)
+        cached = self._plans.get(failed_logical)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        message = self._unrecoverable.get(failed_logical)
+        if message is not None:
+            self.hits += 1
+            raise UnrecoverableFailureError(message)
+        self.misses += 1
+        try:
+            plan = self.layout.reconstruction_plan(failed_logical)
+        except UnrecoverableFailureError as exc:
+            self._unrecoverable[failed_logical] = str(exc)
+            raise
+        self._plans[failed_logical] = plan
+        return plan
+
+    def phases(self, failed_logical: tuple[int, ...]) -> list[RebuildPhase]:
+        """The plan's per-failed-disk phases (shared, treat-as-immutable)."""
+        failed_logical = tuple(failed_logical)
+        if not self.enabled:
+            return split_into_phases(self.plan(failed_logical))
+        cached = self._phases.get(failed_logical)
+        if cached is not None:
+            return cached
+        phases = split_into_phases(self.plan(failed_logical))
+        self._phases[failed_logical] = phases
+        return phases
+
+    def read_rounds(self, failed_logical: tuple[int, ...]) -> list[list[tuple[int, int]]]:
+        """The plan's parallel read rounds (shared, treat-as-immutable)."""
+        failed_logical = tuple(failed_logical)
+        if not self.enabled:
+            return schedule_read_rounds(self.plan(failed_logical))
+        cached = self._rounds.get(failed_logical)
+        if cached is not None:
+            return cached
+        rounds = schedule_read_rounds(self.plan(failed_logical))
+        self._rounds[failed_logical] = rounds
+        return rounds
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached plan.
+
+        Called by the rebuild executor when the active failure set
+        grows mid-rebuild.  Keys already encode the failure set, so
+        this is about hygiene and future layout state, not correctness
+        — but having one explicit hook keeps that decision auditable.
+        """
+        self._plans.clear()
+        self._phases.clear()
+        self._rounds.clear()
+        self._unrecoverable.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)

@@ -1,0 +1,65 @@
+"""Layout registry: name -> builder, shared by the CLI and fan-out workers.
+
+Campaign sweeps ship their work to process-pool workers as plain
+picklable specs; a :class:`~repro.core.layouts.Layout` instance (and
+especially a closure over one) is not a good wire format, so workers
+rebuild layouts from the registry name.  The CLI re-exports this table
+as its ``--layout`` choices.
+"""
+
+from __future__ import annotations
+
+from .arrangement import IdentityArrangement, PermutationArrangement, ShiftedArrangement
+from .layouts import (
+    Layout,
+    MirrorLayout,
+    MirrorParityLayout,
+    RAID5Layout,
+    RAID6Layout,
+    ThreeMirrorLayout,
+    XCodeLayout,
+)
+
+__all__ = ["LAYOUTS", "build_layout", "shifted_variant_name"]
+
+
+def _reverse_shift(n: int) -> PermutationArrangement:
+    return PermutationArrangement(
+        n, {(i, j): ((i - j) % n, i) for i in range(n) for j in range(n)}
+    )
+
+
+#: layout name -> builder taking the data-disk count
+LAYOUTS = {
+    "mirror": lambda n: MirrorLayout(n, IdentityArrangement(n)),
+    "shifted-mirror": lambda n: MirrorLayout(n, ShiftedArrangement(n)),
+    "mirror-parity": lambda n: MirrorParityLayout(n, IdentityArrangement(n)),
+    "shifted-mirror-parity": lambda n: MirrorParityLayout(n, ShiftedArrangement(n)),
+    "three-mirror": lambda n: ThreeMirrorLayout(n),
+    "shifted-three-mirror": lambda n: ThreeMirrorLayout(
+        n, ShiftedArrangement(n), _reverse_shift(n)
+    ),
+    "raid5": RAID5Layout,
+    "raid6-evenodd": lambda n: RAID6Layout(n, "evenodd"),
+    "raid6-rdp": lambda n: RAID6Layout(n, "rdp"),
+    "xcode": XCodeLayout,  # n must be prime >= 5
+}
+
+
+def build_layout(name: str, n: int) -> Layout:
+    """Instantiate a layout by registry name."""
+    try:
+        builder = LAYOUTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown layout {name!r}; choose from {', '.join(sorted(LAYOUTS))}"
+        ) from None
+    return builder(n)
+
+
+def shifted_variant_name(family: str) -> str:
+    """The shifted counterpart of a traditional family name."""
+    name = f"shifted-{family}"
+    if name not in LAYOUTS:
+        raise ValueError(f"family {family!r} has no shifted variant in the registry")
+    return name

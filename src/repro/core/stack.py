@@ -80,11 +80,20 @@ class RotatedStack:
         return self.n_stripes * self.rows
 
     def place(self, stripe: int, logical_disk: int, row: int) -> tuple[int, int]:
-        """Physical ``(disk, element offset)`` of a logical stripe cell."""
-        return (
-            self.physical_disk(stripe, logical_disk),
-            self.element_offset(stripe, row),
-        )
+        """Physical ``(disk, element offset)`` of a logical stripe cell.
+
+        This is the innermost call of every rebuild/write sweep, so the
+        checks and arithmetic of :meth:`physical_disk` /
+        :meth:`element_offset` are inlined rather than delegated.
+        """
+        if not 0 <= stripe < self.n_stripes:
+            raise IndexError(f"stripe {stripe} outside stack of {self.n_stripes}")
+        if not 0 <= logical_disk < self.n_disks:
+            raise IndexError(f"disk {logical_disk} outside array of {self.n_disks}")
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} outside stripe of {self.rows} rows")
+        physical = (logical_disk + stripe) % self.n_disks if self.rotate else logical_disk
+        return (physical, stripe * self.rows + row)
 
     # ------------------------------------------------------------------
     def logical_failures(self, physical_failed) -> list[tuple[int, ...]]:

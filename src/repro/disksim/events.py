@@ -26,6 +26,8 @@ Callback = Callable[[IORequest], None]
 class _DiskServer:
     """One disk plus its queue and busy state."""
 
+    __slots__ = ("model", "scheduler", "busy", "current")
+
     def __init__(self, model: DiskModel, scheduler: Scheduler) -> None:
         self.model = model
         self.scheduler = scheduler
@@ -64,12 +66,15 @@ class Simulation:
         #: typed — ``on_completion`` is required, ``service_factor``
         #: consulted when present)
         self.faults = faults
+        #: hoisted fail-slow hook — resolving the attribute once instead
+        #: of a ``getattr`` per request start
+        self._service_factor = getattr(faults, "service_factor", None)
         self.disks = [
             _DiskServer(DiskModel(d, self.params), scheduler_factory())
             for d in range(n_disks)
         ]
         self.now: float = 0.0
-        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._events: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = 0
         self.completed: list[IORequest] = []
         self._callbacks: dict[int, Callback] = {}
@@ -77,10 +82,19 @@ class Simulation:
     # ------------------------------------------------------------------
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
         """Run ``action`` ``delay`` seconds from now."""
+        self.schedule_call(delay, action)
+
+    def schedule_call(self, delay: float, action: Callable[..., None], *args) -> None:
+        """Run ``action(*args)`` ``delay`` seconds from now.
+
+        Passing the arguments through the event tuple lets hot paths
+        schedule bound methods directly instead of allocating a closure
+        per event (one per request completion, previously).
+        """
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
         self._seq += 1
-        heapq.heappush(self._events, (self.now + delay, self._seq, action))
+        heapq.heappush(self._events, (self.now + delay, self._seq, action, args))
 
     def submit(self, request: IORequest, callback: Callback | None = None) -> None:
         """Enqueue a request on its disk, starting service if idle."""
@@ -98,7 +112,7 @@ class Simulation:
         """Submit a request at an absolute future simulation time."""
         if time < self.now:
             raise ValueError(f"cannot submit in the past ({time} < {self.now})")
-        self.schedule(time - self.now, lambda: self.submit(request, callback))
+        self.schedule_call(time - self.now, self.submit, request, callback)
 
     # ------------------------------------------------------------------
     def _start_next(self, server: _DiskServer) -> None:
@@ -106,9 +120,8 @@ class Simulation:
             return
         request = server.scheduler.pop(server.model.head_position)
         duration = server.model.serve(request)
-        service_factor = getattr(self.faults, "service_factor", None)
-        if service_factor is not None:
-            factor = service_factor(request.disk, self.now)
+        if self._service_factor is not None:
+            factor = self._service_factor(request.disk, self.now)
             if factor != 1.0:
                 # fail-slow inflation counts as busy time too
                 server.model.busy_time += duration * (factor - 1.0)
@@ -117,7 +130,7 @@ class Simulation:
         request.finish_time = self.now + duration
         server.busy = True
         server.current = request
-        self.schedule(duration, lambda: self._complete(server, request))
+        self.schedule_call(duration, self._complete, server, request)
 
     def _complete(self, server: _DiskServer, request: IORequest) -> None:
         server.busy = False
@@ -133,15 +146,31 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self, until: float | None = None) -> float:
         """Process events until quiescence (or ``until``); returns the clock."""
-        while self._events:
-            t, _, action = self._events[0]
+        events = self._events
+        while events:
+            t = events[0][0]
             if until is not None and t > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._events)
+            _, _, action, args = heapq.heappop(events)
             self.now = t
-            action()
+            action(*args)
         return self.now
+
+    def max_finish_time_since(self, index: int, default: float = 0.0) -> float:
+        """Latest completion time among ``completed[index:]`` — no copy.
+
+        The rebuild loop asks this after every pass; slicing the
+        completion log there made the aggregation quadratic in the
+        number of requests.
+        """
+        completed = self.completed
+        latest = default
+        for k in range(index, len(completed)):
+            ft = completed[k].finish_time
+            if ft > latest:
+                latest = ft
+        return latest
 
     def drain(self) -> float:
         """Alias of :meth:`run` to quiescence."""

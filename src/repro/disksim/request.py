@@ -21,9 +21,13 @@ class IOKind(str, enum.Enum):
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class IORequest:
     """One disk I/O operation.
+
+    The class is slotted: simulations allocate one of these per I/O,
+    and dropping the per-instance ``__dict__`` measurably shrinks both
+    allocation time and the resident size of long campaign runs.
 
     Parameters
     ----------

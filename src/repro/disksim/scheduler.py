@@ -10,17 +10,35 @@ Three policies, selectable per simulation:
 * :class:`PriorityScheduler` — strict priority classes (lower first)
   with elevator order inside each class; used for on-line
   reconstruction, where user reads preempt rebuild I/O (§III).
+
+The elevator variants keep their queues **sorted by (offset, req_id)**
+and locate the next request with a binary search instead of scanning
+(and copying) the whole pending list on every pop — under deep queues
+(on-line reconstruction with a heavy user-read stream) the old
+O(pending) scan per pop dominated the event loop.
+``tests/disksim/test_scheduler_equivalence.py`` property-checks that
+the ordering is identical to the original linear-scan definition.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_left, insort
+from collections import deque
+from typing import Iterable
 
 from .request import IORequest
 
 __all__ = ["Scheduler", "FIFOScheduler", "ElevatorScheduler", "PriorityScheduler"]
 
 
+def _sort_key(request: IORequest) -> tuple[int, int]:
+    return (request.offset, request.req_id)
+
+
 class Scheduler:
     """Queue discipline interface for one disk's pending requests."""
+
+    __slots__ = ("_pending",)
 
     def __init__(self) -> None:
         self._pending: list[IORequest] = []
@@ -38,31 +56,58 @@ class Scheduler:
     def __bool__(self) -> bool:
         return bool(self._pending)
 
-    def peek_all(self) -> list[IORequest]:
-        """Snapshot of pending requests (tests/diagnostics)."""
-        return list(self._pending)
+    def peek_all(self) -> Iterable[IORequest]:
+        """Live view of pending requests — **no copy** (diagnostics).
+
+        The returned object reflects subsequent ``add``/``pop`` calls
+        and must not be mutated; call :meth:`snapshot` for an
+        independent copy.
+        """
+        return self._pending
+
+    def snapshot(self) -> list[IORequest]:
+        """Explicit point-in-time copy of the pending requests."""
+        return list(self.peek_all())
 
 
 class FIFOScheduler(Scheduler):
     """First in, first out."""
 
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        # a deque pops from the left in O(1); the old list.pop(0)
+        # shifted the whole queue on every dispatch
+        self._pending: deque[IORequest] = deque()  # type: ignore[assignment]
+
     def pop(self, head_position: int) -> IORequest:
         if not self._pending:
             raise IndexError("pop from empty scheduler")
-        return self._pending.pop(0)
+        return self._pending.popleft()  # type: ignore[attr-defined]
 
 
 class ElevatorScheduler(Scheduler):
-    """C-SCAN: ascending offsets from the head, wrapping to the lowest."""
+    """C-SCAN: ascending offsets from the head, wrapping to the lowest.
+
+    The queue is kept sorted by ``(offset, req_id)``; ``pop`` binary
+    searches for the first request at or beyond the head and wraps to
+    index 0 when nothing is ahead — exactly the request the original
+    linear scan selected via ``min`` over the ahead (or whole) pool.
+    """
+
+    __slots__ = ()
+
+    def add(self, request: IORequest) -> None:
+        insort(self._pending, request, key=_sort_key)
 
     def pop(self, head_position: int) -> IORequest:
-        if not self._pending:
+        pending = self._pending
+        if not pending:
             raise IndexError("pop from empty scheduler")
-        ahead = [r for r in self._pending if r.offset >= head_position]
-        pool = ahead if ahead else self._pending
-        best = min(pool, key=lambda r: (r.offset, r.req_id))
-        self._pending.remove(best)
-        return best
+        idx = bisect_left(pending, head_position, key=lambda r: r.offset)
+        if idx == len(pending):
+            idx = 0  # wrap: lowest offset
+        return pending.pop(idx)
 
 
 class PriorityScheduler(Scheduler):
@@ -72,15 +117,46 @@ class PriorityScheduler(Scheduler):
     applies.  This realises the paper's on-line reconstruction policy:
     "the failed data is recovered and responded to user with a higher
     priority than other reconstruction I/Os".
+
+    One sorted queue per priority class; there are only a handful of
+    classes (0 for user reads, 10 for rebuild I/O), so the ``min`` over
+    class keys is effectively constant-time.
     """
 
+    __slots__ = ("_classes", "_count")
+
+    def __init__(self) -> None:
+        self._classes: dict[int, list[IORequest]] = {}
+        self._count = 0
+
+    def add(self, request: IORequest) -> None:
+        queue = self._classes.get(request.priority)
+        if queue is None:
+            queue = self._classes[request.priority] = []
+        insort(queue, request, key=_sort_key)
+        self._count += 1
+
     def pop(self, head_position: int) -> IORequest:
-        if not self._pending:
+        if not self._count:
             raise IndexError("pop from empty scheduler")
-        top = min(r.priority for r in self._pending)
-        pool = [r for r in self._pending if r.priority == top]
-        ahead = [r for r in pool if r.offset >= head_position]
-        pool = ahead if ahead else pool
-        best = min(pool, key=lambda r: (r.offset, r.req_id))
-        self._pending.remove(best)
-        return best
+        top = min(self._classes)
+        queue = self._classes[top]
+        idx = bisect_left(queue, head_position, key=lambda r: r.offset)
+        if idx == len(queue):
+            idx = 0
+        request = queue.pop(idx)
+        if not queue:
+            del self._classes[top]
+        self._count -= 1
+        return request
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def peek_all(self) -> list[IORequest]:
+        # classes are separate queues, so this view is necessarily
+        # assembled — still only built when diagnostics ask for it
+        return [r for p in sorted(self._classes) for r in self._classes[p]]

@@ -15,36 +15,62 @@ import argparse
 import sys
 import time
 
+from ..parallel import parallel_map
 from . import ext_lse, ext_raid6, ext_three_mirror, fig7, fig8, fig9, fig10, table1
 from .reporting import ExperimentResult
 
 __all__ = ["run_all", "main"]
 
 
-def run_all(quick: bool = False) -> list[ExperimentResult]:
-    """All experiments: paper order, then the §VIII extension."""
+def _experiment_specs(quick: bool) -> list[tuple]:
+    """(callable, args, kwargs) per experiment — plain picklable data.
+
+    Every experiment is independent and deterministic (each owns its
+    seeds), so the battery is an embarrassingly parallel unit of work.
+    """
     n_values = (3, 4, 5) if quick else (3, 4, 5, 6, 7)
     n_ops = 60 if quick else 200
-    results = [
-        table1.run(n_values),
-        fig7.run(2, 20 if quick else 50),
-        fig8.run(),
-        fig9.run_a(n_values, n_stripes=8 if quick else 16),
-        fig9.run_b(n_values, n_stripes=6 if quick else 12),
-        fig10.run_a(n_values, n_ops=n_ops),
-        fig10.run_b(n_values, n_ops=n_ops),
-        ext_three_mirror.run(n_values, n_stripes=8 if quick else 12),
-        ext_lse.run(
-            n=5,
-            error_counts=(0, 4, 8) if quick else (0, 2, 4, 8, 16),
-            trials=8 if quick else 20,
+    return [
+        (table1.run, (n_values,), {}),
+        (fig7.run, (2, 20 if quick else 50), {}),
+        (fig8.run, (), {}),
+        (fig9.run_a, (n_values,), {"n_stripes": 8 if quick else 16}),
+        (fig9.run_b, (n_values,), {"n_stripes": 6 if quick else 12}),
+        (fig10.run_a, (n_values,), {"n_ops": n_ops}),
+        (fig10.run_b, (n_values,), {"n_ops": n_ops}),
+        (ext_three_mirror.run, (n_values,), {"n_stripes": 8 if quick else 12}),
+        (
+            ext_lse.run,
+            (),
+            {
+                "n": 5,
+                "error_counts": (0, 4, 8) if quick else (0, 2, 4, 8, 16),
+                "trials": 8 if quick else 20,
+            },
         ),
-        ext_raid6.run(
-            n_values=(4, 5) if quick else (4, 5, 6, 7),
-            n_stripes=6 if quick else 8,
+        (
+            ext_raid6.run,
+            (),
+            {
+                "n_values": (4, 5) if quick else (4, 5, 6, 7),
+                "n_stripes": 6 if quick else 8,
+            },
         ),
     ]
-    return results
+
+
+def _run_spec(spec: tuple) -> ExperimentResult:
+    fn, args, kwargs = spec
+    return fn(*args, **kwargs)
+
+
+def run_all(quick: bool = False, jobs: int | None = None) -> list[ExperimentResult]:
+    """All experiments: paper order, then the §VIII extension.
+
+    ``jobs`` fans the battery across a process pool (``None``/1 serial,
+    0 = all cores); results always come back in paper order.
+    """
+    return parallel_map(_run_spec, _experiment_specs(quick), jobs=jobs)
 
 
 def main(argv=None) -> int:
@@ -56,9 +82,15 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="also render Figs. 7/9/10 as SVG files into DIR",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="fan experiments across this many processes (0 = all cores)",
+    )
     args = parser.parse_args(argv)
     t0 = time.time()
-    for result in run_all(quick=args.quick):
+    for result in run_all(quick=args.quick, jobs=args.jobs):
         print(result)
         print()
     if args.svg:

@@ -9,9 +9,13 @@ from .availability import (
 from .campaign import (
     CampaignComparison,
     CampaignRun,
+    SweepPoint,
+    SweepResult,
     clean_rebuild_makespan,
     compare_arrangements,
+    compare_sweep,
     default_fault_plan,
+    derive_sweep_seeds,
     run_campaign,
 )
 from .controller import (
@@ -40,6 +44,10 @@ __all__ = [
     "clean_rebuild_makespan",
     "run_campaign",
     "compare_arrangements",
+    "SweepPoint",
+    "SweepResult",
+    "derive_sweep_seeds",
+    "compare_sweep",
     "AvailabilityPoint",
     "measure_case",
     "average_reconstruction_throughput",

@@ -17,15 +17,18 @@ is a reproducible experiment, not an anecdote.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..core.layouts import Layout
+from ..core.registry import LAYOUTS, shifted_variant_name
 from ..disksim.array import DEFAULT_ELEMENT_SIZE
 from ..disksim.faultplan import FaultPlan
 from ..disksim.scheduler import PriorityScheduler
+from ..parallel import parallel_map
 from ..workloads.generator import user_read_stream
 from .controller import FaultStats, RaidController, RebuildResult, RetryPolicy
 from .reconstruction import OnlineReconstruction, OnlineResult
@@ -33,10 +36,14 @@ from .reconstruction import OnlineReconstruction, OnlineResult
 __all__ = [
     "CampaignRun",
     "CampaignComparison",
+    "SweepPoint",
+    "SweepResult",
     "default_fault_plan",
     "clean_rebuild_makespan",
     "run_campaign",
     "compare_arrangements",
+    "derive_sweep_seeds",
+    "compare_sweep",
 ]
 
 
@@ -239,4 +246,154 @@ def compare_arrangements(
             traditional_factory(), fault_plan, **campaign_kwargs
         ),
         shifted=run_campaign(shifted_factory(), fault_plan, **campaign_kwargs),
+    )
+
+
+# ----------------------------------------------------------------------
+# Seeded sweeps: many storms, one verdict
+# ----------------------------------------------------------------------
+
+def derive_sweep_seeds(
+    root_seed: int, n_seeds: int
+) -> tuple[tuple[int, int], ...]:
+    """Per-point ``(fault_seed, user_read_seed)`` pairs from one root.
+
+    Each sweep point gets an independent :class:`numpy.random.SeedSequence`
+    child of the root; the pair is a pure function of
+    ``(root_seed, index)``, so a worker process can be handed the bare
+    integers and still produce the exact stream the serial run would —
+    this is what makes ``jobs=1`` and ``jobs=N`` sweeps bit-identical.
+    """
+    children = np.random.SeedSequence(root_seed).spawn(n_seeds)
+    pairs = []
+    for child in children:
+        state = child.generate_state(2, dtype=np.uint64)
+        pairs.append((int(state[0]), int(state[1])))
+    return tuple(pairs)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One seeded comparison inside a sweep."""
+
+    seed_index: int
+    fault_seed: int
+    user_read_seed: int
+    comparison: CampaignComparison
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A family's traditional-vs-shifted verdict over many seeded storms."""
+
+    family: str
+    n: int
+    root_seed: int
+    points: tuple[SweepPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def mean_availability_delta(self) -> float:
+        return float(
+            np.mean([p.comparison.availability_delta for p in self.points])
+        )
+
+    @property
+    def mean_latency_speedup(self) -> float:
+        """Mean over points with finite speedups (inf = shifted served free)."""
+        finite = [
+            p.comparison.latency_speedup
+            for p in self.points
+            if math.isfinite(p.comparison.latency_speedup)
+        ]
+        return float(np.mean(finite)) if finite else float("inf")
+
+    @property
+    def worst_data_survival(self) -> tuple[float, float]:
+        """(traditional, shifted) minimum data survival across the sweep."""
+        return (
+            min(p.comparison.traditional.data_survival for p in self.points),
+            min(p.comparison.shifted.data_survival for p in self.points),
+        )
+
+    @property
+    def shifted_wins(self) -> int:
+        """Points where the shifted arrangement served strictly more reads."""
+        return sum(
+            1 for p in self.points if p.comparison.availability_delta > 0
+        )
+
+
+def _sweep_point(task) -> SweepPoint:
+    """Pool worker: rebuild layouts from registry names and run one point.
+
+    Module-level (picklable) and handed only plain data; the layouts and
+    the fault plan are constructed inside the worker so nothing
+    stateful crosses the process boundary.
+    """
+    family, n, index, fault_seed, user_seed, plan_kwargs, campaign_kwargs = task
+    traditional = LAYOUTS[family]
+    shifted = LAYOUTS[shifted_variant_name(family)]
+    plan = default_fault_plan(
+        traditional(n).n_disks, seed=fault_seed, **plan_kwargs
+    )
+    comparison = compare_arrangements(
+        lambda: traditional(n),
+        lambda: shifted(n),
+        plan,
+        user_read_seed=user_seed,
+        **campaign_kwargs,
+    )
+    return SweepPoint(
+        seed_index=index,
+        fault_seed=fault_seed,
+        user_read_seed=user_seed,
+        comparison=comparison,
+    )
+
+
+def compare_sweep(
+    family: str,
+    n: int,
+    n_seeds: int = 16,
+    root_seed: int = 2012,
+    jobs: int | None = None,
+    plan_kwargs: dict | None = None,
+    **campaign_kwargs,
+) -> SweepResult:
+    """Traditional vs shifted over ``n_seeds`` independent storms.
+
+    ``family`` is a registry name with a shifted variant (``mirror``,
+    ``mirror-parity``, ``three-mirror``).  Each point derives its fault
+    and user-read seeds from a :class:`numpy.random.SeedSequence` child
+    of ``root_seed`` (see :func:`derive_sweep_seeds`) and runs the full
+    :func:`compare_arrangements` under its own storm.  ``plan_kwargs``
+    feed :func:`default_fault_plan`; everything else is passed to
+    :func:`run_campaign`.
+
+    ``jobs`` fans points across a process pool
+    (:func:`repro.parallel.parallel_map` conventions: ``None``/1 serial,
+    0 = all cores).  Results are merged in seed order and are
+    bit-identical to the serial run — there is a regression test
+    pinning that.
+    """
+    shifted_variant_name(family)  # validate up front, before forking
+    seeds = derive_sweep_seeds(root_seed, n_seeds)
+    tasks = [
+        (
+            family,
+            n,
+            index,
+            fault_seed,
+            user_seed,
+            dict(plan_kwargs or {}),
+            dict(campaign_kwargs),
+        )
+        for index, (fault_seed, user_seed) in enumerate(seeds)
+    ]
+    points = parallel_map(_sweep_point, tasks, jobs=jobs)
+    return SweepResult(
+        family=family, n=n, root_seed=root_seed, points=tuple(points)
     )

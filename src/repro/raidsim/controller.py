@@ -38,12 +38,12 @@ from ..core.layouts import (
     RAID6Layout,
     XCodeLayout,
 )
+from ..core.plancache import PlanCache
 from ..core.reconstruction import (
     RebuildPhase,
     ReconstructionPlan,
     RecoveryMethod,
     RecoveryStep,
-    split_into_phases,
 )
 from ..core.stack import RotatedStack
 from ..disksim.array import DEFAULT_ELEMENT_SIZE, ElementArray
@@ -178,6 +178,68 @@ class WriteResult:
     bytes_written: int
 
 
+class _RetryBatch:
+    """Retry/backoff bookkeeping for one batch of element reads.
+
+    The settle logic used to be a nest of closures capturing a state
+    dict per batch; on the rebuild hot path that allocated several
+    cells and a dict for every stripe.  One slotted object with a
+    bound-method callback does the same job.
+    """
+
+    __slots__ = ("controller", "on_settled", "failed", "outstanding", "primed")
+
+    def __init__(
+        self,
+        controller: "RaidController",
+        on_settled: Callable[[list[IORequest]], None],
+    ) -> None:
+        self.controller = controller
+        self.on_settled = on_settled
+        self.failed: list[IORequest] = []
+        self.outstanding = 0
+        self.primed = False
+
+    def on_request(self, req: IORequest) -> None:
+        ctrl = self.controller
+        policy = ctrl.retry_policy
+        stats = ctrl.fault_stats
+        self.outstanding -= 1
+        timed_out = (
+            policy is not None
+            and policy.timeout_s is not None
+            and not req.error
+            and req.latency > policy.timeout_s
+        )
+        if timed_out:
+            stats.timeouts += 1
+        retryable = (req.error and req.error_kind == "transient") or timed_out
+        if policy is not None and retryable and req.attempt + 1 < policy.max_attempts:
+            delay = policy.backoff_s(req.attempt)
+            stats.retries += 1
+            stats.backoff_time_s += delay
+            retry = IORequest(
+                disk=req.disk,
+                offset=req.offset,
+                size=req.size,
+                kind=req.kind,
+                priority=req.priority,
+                tag=req.tag,
+                attempt=req.attempt + 1,
+            )
+            self.outstanding += 1
+            ctrl.array.sim.schedule_call(delay, ctrl.array.submit, retry, self.on_request)
+            return
+        if req.error:
+            if retryable:  # out of attempts on a retryable error
+                stats.abandoned_requests += 1
+            self.failed.append(req)
+        elif timed_out:
+            stats.slow_reads_accepted += 1
+        if self.primed and self.outstanding == 0:
+            self.on_settled(self.failed)
+
+
 class RaidController:
     """Drive one RAID architecture over a simulated disk array.
 
@@ -208,6 +270,11 @@ class RaidController:
     retry_policy:
         Read retry/backoff policy; defaults to :class:`RetryPolicy`'s
         defaults when a fault plan is present, otherwise no retries.
+    plan_cache:
+        Memoise reconstruction plans per logical failure set (see
+        :class:`~repro.core.plancache.PlanCache`).  On by default;
+        ``False`` re-derives every stripe's plan, which only the
+        perf-regression harness wants.
     """
 
     def __init__(
@@ -224,8 +291,10 @@ class RaidController:
         lse: LatentSectorErrors | None = None,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        plan_cache: bool = True,
     ) -> None:
         self.layout = layout
+        self.plan_cache = PlanCache(layout, enabled=plan_cache)
         self.stack = RotatedStack(layout, n_stripes, rotate=rotate)
         self.n_stripes = n_stripes
         self.spares = spares
@@ -360,11 +429,16 @@ class RaidController:
     # reconstruction
     # ==================================================================
     def stripe_plan(self, stripe: int, failed_physical) -> ReconstructionPlan:
-        """The stripe's logical reconstruction plan for a physical failure."""
+        """The stripe's logical reconstruction plan for a physical failure.
+
+        Served from the controller's :class:`PlanCache`: stripes whose
+        rotation maps the failure onto the same logical set share one
+        derivation.  The returned plan is shared — treat as immutable.
+        """
         logical = tuple(
             sorted(self.stack.logical_disk(stripe, f) for f in failed_physical)
         )
-        return self.layout.reconstruction_plan(logical)
+        return self.plan_cache.plan(logical)
 
     def _submit_reads_with_retry(
         self,
@@ -382,56 +456,17 @@ class RaidController:
         requests that still carry an error.  A read that only ran out
         of *timeout* retries is accepted — the bytes did arrive, late —
         and counted in ``fault_stats.slow_reads_accepted``.
+
+        The bookkeeping lives in one slotted :class:`_RetryBatch`
+        object per batch; its bound method is the per-request callback,
+        so no closure cells are allocated on this path.
         """
-        policy = self.retry_policy
-        stats = self.fault_stats
-        failed: list[IORequest] = []
-        state = {"outstanding": 0, "primed": False}
-
-        def settle_check() -> None:
-            if state["primed"] and state["outstanding"] == 0:
-                on_settled(failed)
-
-        def cb(req: IORequest) -> None:
-            state["outstanding"] -= 1
-            timed_out = (
-                policy is not None
-                and policy.timeout_s is not None
-                and not req.error
-                and req.latency > policy.timeout_s
-            )
-            if timed_out:
-                stats.timeouts += 1
-            retryable = (req.error and req.error_kind == "transient") or timed_out
-            if policy is not None and retryable and req.attempt + 1 < policy.max_attempts:
-                delay = policy.backoff_s(req.attempt)
-                stats.retries += 1
-                stats.backoff_time_s += delay
-                retry = IORequest(
-                    disk=req.disk,
-                    offset=req.offset,
-                    size=req.size,
-                    kind=req.kind,
-                    priority=req.priority,
-                    tag=req.tag,
-                    attempt=req.attempt + 1,
-                )
-                state["outstanding"] += 1
-                self.array.sim.schedule(delay, lambda: self.array.submit(retry, cb))
-                return
-            if req.error:
-                if retryable:  # out of attempts on a retryable error
-                    stats.abandoned_requests += 1
-                failed.append(req)
-            elif timed_out:
-                stats.slow_reads_accepted += 1
-            settle_check()
-
+        batch = _RetryBatch(self, on_settled)
         reqs = self.array.submit_elements(
-            cells, IOKind.READ, priority=priority, tag=tag, callback=cb
+            cells, IOKind.READ, priority=priority, tag=tag, callback=batch.on_request
         )
-        state["outstanding"] += len(reqs)
-        state["primed"] = True
+        batch.outstanding += len(reqs)
+        batch.primed = True
         if not reqs:
             on_settled([])
 
@@ -566,12 +601,8 @@ class RaidController:
                     # a death is only *this* rebuild's problem if it fired
                     # while rebuild I/O was still in flight; the event
                     # drain also pops deaths scheduled far in the future
-                    last_io = max(
-                        (
-                            r.finish_time
-                            for r in self.array.sim.completed[n_completed_before:]
-                        ),
-                        default=start,
+                    last_io = self.array.sim.max_finish_time_since(
+                        n_completed_before, default=start
                     )
                     new_dead = [
                         d
@@ -590,6 +621,9 @@ class RaidController:
                         stats.mid_rebuild_failures = tuple(
                             sorted(set(stats.mid_rebuild_failures) | set(new_dead))
                         )
+                        # the failure set grew: flush memoised plans (the
+                        # explicit invalidation point of the plan cache)
+                        self.plan_cache.invalidate()
                         break  # regroup with the enlarged failure set
         finally:
             self._rebuilding = ()
@@ -597,8 +631,10 @@ class RaidController:
         if self.fault_plan is not None:
             # death events may advance the clock far past the last I/O;
             # price the rebuild by its actual request completions
-            reqs = self.array.sim.completed[n_completed_before:]
-            makespan = max((r.finish_time for r in reqs), default=start) - start
+            makespan = (
+                self.array.sim.max_finish_time_since(n_completed_before, default=start)
+                - start
+            )
         else:
             makespan = self.array.now - start
         bytes_read = self.array.sim.total_bytes_read - bytes_read_before
@@ -678,16 +714,21 @@ class RaidController:
         plans: dict[int, ReconstructionPlan] = {}
         phase_lists: dict[int, list[RebuildPhase]] = {}
         plannable: list[int] = []
+        stack = self.stack
+        cache = self.plan_cache
         for s in stripes:
+            logical = tuple(sorted(stack.logical_disk(s, f) for f in fset))
             try:
-                plan = self.stripe_plan(s, fset)
+                plan = cache.plan(logical)
             except UnrecoverableFailureError:
                 if not counting:
                     raise
                 self._record_loss(fset, s, lost, stats)
                 continue
+            # plans and phase lists are shared across same-class stripes
+            # (and across rebuilds): read-only from here on
             plans[s] = plan
-            phase_lists[s] = split_into_phases(plan)
+            phase_lists[s] = cache.phases(logical)
             plannable.append(s)
         max_accesses = max((p.num_read_accesses for p in plans.values()), default=0)
         n_phases = len(fset)

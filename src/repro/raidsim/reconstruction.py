@@ -145,6 +145,11 @@ class OnlineReconstruction:
     def run(self) -> OnlineResult:
         ctrl = self.controller
         failed_set = set(self.failed)
+        # degraded-source resolution is a pure function of the logical
+        # failure set and the (i, j) address — memoise it across the
+        # stream (a heavy campaign resolves the same handful of cells
+        # thousands of times)
+        source_memo: dict[tuple[tuple[int, ...], int, int], list[tuple[int, int]]] = {}
 
         def schedule_user_read(read: UserRead) -> None:
             def fire() -> None:
@@ -152,9 +157,12 @@ class OnlineReconstruction:
                 logical_failed = {
                     ctrl.stack.logical_disk(read.stripe, f) for f in failed_set
                 }
-                sources = degraded_read_sources(
-                    ctrl.layout, logical_failed, read.i, read.j
-                )
+                memo_key = (tuple(sorted(logical_failed)), read.i, read.j)
+                sources = source_memo.get(memo_key)
+                if sources is None:
+                    sources = source_memo[memo_key] = degraded_read_sources(
+                        ctrl.layout, logical_failed, read.i, read.j
+                    )
                 if len(sources) > 1 or sources[0] != ctrl.layout.data_cell(read.i, read.j):
                     self._degraded += 1
                 cells = [ctrl.place(read.stripe, c) for c in sources]

@@ -16,11 +16,29 @@ unlikely.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["FilmSource", "DEFAULT_PAYLOAD_BYTES"]
 
 DEFAULT_PAYLOAD_BYTES = 64
+
+
+@lru_cache(maxsize=131072)
+def _element_payload(seed: int, payload_bytes: int, stripe: int, i: int, j: int) -> np.ndarray:
+    """Memoised element payload — shared across all equal-seed sources.
+
+    Spinning up a fresh :class:`numpy.random.Generator` costs tens of
+    microseconds; a campaign builds many controllers over the *same*
+    film, so without the memo content initialisation dominated large
+    sweeps.  The cached array is marked read-only: callers copy it into
+    their content stores (plain ndarray assignment), never mutate it.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed, stripe, i, j]))
+    payload = rng.integers(0, 256, payload_bytes, dtype=np.uint8)
+    payload.setflags(write=False)
+    return payload
 
 
 class FilmSource:
@@ -42,11 +60,12 @@ class FilmSource:
         self.seed = seed
 
     def element(self, stripe: int, i: int, j: int) -> np.ndarray:
-        """The payload of data element ``a[i, j]`` of ``stripe``."""
-        rng = np.random.default_rng(
-            np.random.SeedSequence([self.seed, stripe, i, j])
-        )
-        return rng.integers(0, 256, self.payload_bytes, dtype=np.uint8)
+        """The payload of data element ``a[i, j]`` of ``stripe``.
+
+        The returned array is cached and read-only; copy before
+        mutating (ndarray assignment into a content store copies).
+        """
+        return _element_payload(self.seed, self.payload_bytes, stripe, i, j)
 
     def fresh(self, rng: np.random.Generator) -> np.ndarray:
         """A new payload for an overwriting user write."""
