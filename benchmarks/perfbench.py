@@ -15,13 +15,21 @@ Kernels:
 * ``rebuild_cached``      — 1024-stripe single-failure rebuild, plan cache on
 * ``rebuild_nocache``     — same rebuild with ``plan_cache=False`` (ablation)
 * ``engine_elevator``     — raw event-engine throughput, elevator scheduling
+* ``batch_submission``    — vectorized ``submit_batch`` over bulk numpy ops
 * ``plan_generation``     — reconstruction plans for every 2-failure set
 * ``campaign_serial``     — 16-seed compare_sweep, ``jobs=1``
 * ``campaign_parallel``   — the same sweep fanned over every core
+* ``campaign_pooled``     — the same sweep on a persistent ``WorkerPool``
+                            with a shared-memory film block
 
 Derived ratios land in the record too: ``plan_cache_speedup``
-(nocache / cached) and ``parallel_speedup`` (serial / parallel).
+(nocache / cached), ``parallel_speedup`` (serial / parallel) and
+``pool_speedup`` (per-call pool / persistent pool).
 Gate a run against a baseline with ``tools/bench_compare.py``.
+
+``--no-batch`` disables the vectorized batch path for the whole run
+(the per-element ablation); CI times both and gates the batch path
+against the per-element record so it can never silently regress.
 """
 
 from __future__ import annotations
@@ -87,6 +95,24 @@ def kernel_engine(n_requests: int) -> float:
     return _time(drive)
 
 
+def kernel_batch(n_ops: int) -> float:
+    """Bulk batch submission straight from numpy arrays."""
+    import numpy as np
+
+    arr = ElementArray(
+        8, 4 * 1024 * 1024, DiskParameters.savvio_10k3(), ElevatorScheduler
+    )
+    rng = np.random.default_rng(0)
+    disks = rng.integers(0, 8, size=n_ops)
+    slots = rng.integers(0, 512, size=n_ops)
+
+    def drive() -> None:
+        arr.submit_batch(disks, slots, IOKind.READ)
+        arr.run()
+
+    return _time(drive)
+
+
 def kernel_plans() -> float:
     layout = shifted_mirror_parity(7)
 
@@ -103,6 +129,25 @@ def kernel_campaign(n_seeds: int, n_stripes: int, jobs: int | None) -> float:
             "mirror", 4, n_seeds=n_seeds, n_stripes=n_stripes, jobs=jobs
         )
     )
+
+
+def kernel_campaign_pooled(n_seeds: int, n_stripes: int) -> float:
+    """The sweep on a persistent pool with a shared-memory film block.
+
+    Pool spin-up and film materialisation are inside the timing — the
+    point is that they are paid once per pool, not once per sweep.
+    """
+    from repro.parallel import WorkerPool
+
+    def drive() -> None:
+        with WorkerPool(jobs=0) as pool:
+            if pool.n_workers > 1:
+                pool.share_film(2012, 16, n_stripes, 4, 4)  # mirror(4) geometry
+            compare_sweep(
+                "mirror", 4, n_seeds=n_seeds, n_stripes=n_stripes, pool=pool
+            )
+
+    return _time(drive)
 
 
 # ----------------------------------------------------------------------
@@ -135,9 +180,13 @@ def run_suite(tiny: bool, repeats: int) -> dict:
         lambda: kernel_engine(scale["engine_requests"])
     )
     print(f"  engine_elevator   {kernels['engine_elevator']:.3f} s")
+    kernels["batch_submission"] = best(
+        lambda: kernel_batch(scale["engine_requests"])
+    )
+    print(f"  batch_submission  {kernels['batch_submission']:.3f} s")
     kernels["plan_generation"] = best(kernel_plans)
     print(f"  plan_generation   {kernels['plan_generation']:.3f} s")
-    # the sweep pair runs once each: the pool spin-up is part of the cost
+    # the sweep kernels run once each: the pool spin-up is part of the cost
     kernels["campaign_serial"] = kernel_campaign(
         scale["sweep_seeds"], scale["sweep_stripes"], jobs=1
     )
@@ -146,16 +195,25 @@ def run_suite(tiny: bool, repeats: int) -> dict:
         scale["sweep_seeds"], scale["sweep_stripes"], jobs=0
     )
     print(f"  campaign_parallel {kernels['campaign_parallel']:.3f} s")
+    kernels["campaign_pooled"] = kernel_campaign_pooled(
+        scale["sweep_seeds"], scale["sweep_stripes"]
+    )
+    print(f"  campaign_pooled   {kernels['campaign_pooled']:.3f} s")
 
     derived = {
         "plan_cache_speedup": kernels["rebuild_nocache"]
         / max(kernels["rebuild_cached"], 1e-9),
         "parallel_speedup": kernels["campaign_serial"]
         / max(kernels["campaign_parallel"], 1e-9),
+        "pool_speedup": kernels["campaign_parallel"]
+        / max(kernels["campaign_pooled"], 1e-9),
     }
     print(f"  plan-cache speedup {derived['plan_cache_speedup']:.2f}x, "
-          f"parallel speedup {derived['parallel_speedup']:.2f}x "
+          f"parallel speedup {derived['parallel_speedup']:.2f}x, "
+          f"pool speedup {derived['pool_speedup']:.2f}x "
           f"({os.cpu_count()} cores)")
+    from repro.disksim.array import batch_enabled
+
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
@@ -163,6 +221,7 @@ def run_suite(tiny: bool, repeats: int) -> dict:
         "cpu_count": os.cpu_count(),
         "scale": "tiny" if tiny else "full",
         "repeats": repeats,
+        "batch_path": batch_enabled(),
         "kernels": kernels,
         "derived": derived,
     }
@@ -178,8 +237,16 @@ def main(argv=None) -> int:
                         help=f"trajectory file (default {DEFAULT_OUT.name})")
     parser.add_argument("--no-append", action="store_true",
                         help="overwrite the trajectory instead of appending")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="disable the vectorized batch path for the "
+                             "whole run (per-element ablation)")
     args = parser.parse_args(argv)
 
+    if args.no_batch:
+        from repro.disksim.array import set_batch_enabled
+
+        os.environ["REPRO_BATCH"] = "0"  # pool workers inherit the toggle
+        set_batch_enabled(False)
     record = run_suite(tiny=args.tiny, repeats=args.repeats)
     runs = []
     if not args.no_append and args.out.exists():

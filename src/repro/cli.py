@@ -125,12 +125,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.runner import run_all
+    from .parallel import WorkerPool
 
-    for result in run_all(quick=args.quick, jobs=args.jobs):
-        if args.only and result.experiment_id not in args.only:
-            continue
-        print(result)
-        print()
+    # one persistent pool for the whole invocation: --jobs sizes it
+    # once and every fan-out reuses the same workers
+    with WorkerPool(args.jobs) as pool:
+        for result in run_all(quick=args.quick, pool=pool):
+            if args.only and result.experiment_id not in args.only:
+                continue
+            print(result)
+            print()
     return 0
 
 
@@ -239,6 +243,8 @@ def cmd_faultcampaign(args: argparse.Namespace) -> int:
 
 def _faultcampaign_sweep(args: argparse.Namespace) -> int:
     """``faultcampaign --seeds N``: many storms, fanned across ``--jobs``."""
+    from .core.registry import shifted_variant_name
+    from .parallel import WorkerPool
     from .raidsim.campaign import compare_sweep
 
     plan_kwargs = dict(
@@ -247,17 +253,28 @@ def _faultcampaign_sweep(args: argparse.Namespace) -> int:
         fail_slow_multiplier=args.fail_slow_mult,
         transient_rate=args.transient_rate,
     )
-    sweep = compare_sweep(
-        args.family,
-        args.n,
-        n_seeds=args.seeds,
-        root_seed=args.seed,
-        jobs=args.jobs,
-        plan_kwargs=plan_kwargs,
-        failed_disks=(args.failed,),
-        n_stripes=args.stripes,
-        user_read_rate_per_s=args.rate,
-    )
+    with WorkerPool(args.jobs) as pool:
+        if pool.n_workers > 1:
+            # every sweep point instantiates both arrangements over the
+            # same film — generate it once and share it with the workers
+            layouts = (
+                build_layout(args.family, args.n),
+                build_layout(shifted_variant_name(args.family), args.n),
+            )
+            n_i = max(lay.n for lay in layouts)
+            n_j = max(getattr(lay, "data_rows", lay.rows) for lay in layouts)
+            pool.share_film(2012, 16, args.stripes, n_i, n_j)
+        sweep = compare_sweep(
+            args.family,
+            args.n,
+            n_seeds=args.seeds,
+            root_seed=args.seed,
+            pool=pool,
+            plan_kwargs=plan_kwargs,
+            failed_disks=(args.failed,),
+            n_stripes=args.stripes,
+            user_read_rate_per_s=args.rate,
+        )
     print(f"Fault-campaign sweep on {args.family} at n={args.n}: "
           f"{len(sweep)} storms from root seed {args.seed}")
     print(f"{'seed':>6} {'avail Δ':>9} {'latency':>9} {'survival T/S':>14}")

@@ -119,18 +119,36 @@ class PlanCache:
         return rounds
 
     # ------------------------------------------------------------------
-    def invalidate(self) -> None:
-        """Drop every cached plan.
+    def invalidate(self, affected=None) -> int:
+        """Drop cached plans; returns how many plan entries were dropped.
 
         Called by the rebuild executor when the active failure set
-        grows mid-rebuild.  Keys already encode the failure set, so
-        this is about hygiene and future layout state, not correctness
-        — but having one explicit hook keeps that decision auditable.
+        grows mid-rebuild.  With ``affected`` — an iterable of the
+        *logical* disk ids the new failure maps onto — only entries
+        whose failure set intersects it are dropped: keys fully encode
+        the failure sets they were derived from, so a disjoint entry
+        (e.g. the plans for stripes whose rotation keeps the new dead
+        disk out of their logical set) stays valid and keeps its hits.
+        ``invalidate()`` with no argument still flushes everything —
+        the conservative hook for future layout state beyond the
+        failure set.
         """
-        self._plans.clear()
-        self._phases.clear()
-        self._rounds.clear()
-        self._unrecoverable.clear()
+        if affected is None:
+            dropped = len(self._plans)
+            self._plans.clear()
+            self._phases.clear()
+            self._rounds.clear()
+            self._unrecoverable.clear()
+            return dropped
+        aff = frozenset(affected)
+        dropped = 0
+        for table in (self._plans, self._phases, self._rounds, self._unrecoverable):
+            stale = [key for key in table if not aff.isdisjoint(key)]
+            for key in stale:
+                del table[key]
+            if table is self._plans:
+                dropped = len(stale)
+        return dropped
 
     def __len__(self) -> int:
         return len(self._plans)

@@ -108,6 +108,32 @@ class Simulation:
         if not server.busy:
             self._start_next(server)
 
+    def submit_many(self, requests, callback: Callback | None = None) -> None:
+        """Enqueue a pre-built batch of requests in one engine call.
+
+        Semantically identical to calling :meth:`submit` per request in
+        order (idle disks start serving as soon as their first request
+        lands, so scheduler decisions are unchanged); the batch form
+        hoists the attribute lookups and bounds bookkeeping out of the
+        per-request path, which is what the vectorized
+        :meth:`~repro.disksim.array.ElementArray.submit_batch` wants.
+        """
+        disks = self.disks
+        n = len(disks)
+        callbacks = self._callbacks
+        now = self.now
+        for request in requests:
+            d = request.disk
+            if not 0 <= d < n:
+                raise ValueError(f"request targets unknown disk {d}")
+            request.submit_time = now
+            if callback is not None:
+                callbacks[request.req_id] = callback
+            server = disks[d]
+            server.scheduler.add(request)
+            if not server.busy:
+                self._start_next(server)
+
     def submit_at(self, time: float, request: IORequest, callback: Callback | None = None) -> None:
         """Submit a request at an absolute future simulation time."""
         if time < self.now:
@@ -145,8 +171,16 @@ class Simulation:
 
     # ------------------------------------------------------------------
     def run(self, until: float | None = None) -> float:
-        """Process events until quiescence (or ``until``); returns the clock."""
+        """Process events until quiescence (or ``until``); returns the clock.
+
+        The clock is monotone: ``until`` earlier than ``now`` is a no-op
+        (time never moves backwards), and an idle engine still advances
+        to ``until`` — ``run(until=t)`` on an empty calendar models
+        waiting out wall-clock time with no I/O in flight.
+        """
         events = self._events
+        if until is not None and until <= self.now:
+            return self.now
         while events:
             t = events[0][0]
             if until is not None and t > until:
@@ -155,6 +189,8 @@ class Simulation:
             _, _, action, args = heapq.heappop(events)
             self.now = t
             action(*args)
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     def max_finish_time_since(self, index: int, default: float = 0.0) -> float:

@@ -290,19 +290,25 @@ class ActiveFaults:
         if spec is None:
             return
         key = (request.disk, request.offset, request.size)
-        pending = self._transient_pending.get(key)
-        if pending is not None:
+        if request.attempt > 0:
+            pending = self._transient_pending.get(key)
+            if pending is None:
+                return  # retry of something else (e.g. a timeout); serve it
             # a retry of a triggered transient: consume one failure
-            self._transient_pending[key] = pending - 1
-            if self._transient_pending[key] <= 0:
+            pending -= 1
+            if pending <= 0:
                 del self._transient_pending[key]
                 return  # this retry succeeded
+            self._transient_pending[key] = pending
             request.error = True
             request.error_kind = "transient"
             self.counters.transient_errors += 1
             return
-        if request.attempt > 0:
-            return  # retry of something else (e.g. a timeout); serve it
+        # a fresh read (attempt == 0): any leftover pending entry is stale
+        # — an earlier triggered transient that was never retried.  Drop
+        # it so this independent read redraws instead of inheriting the
+        # old failure budget (and being misclassified as a retry).
+        self._transient_pending.pop(key, None)
         if float(self.rng.random()) < spec.rate:
             total_failures = min(
                 int(self.rng.geometric(spec.retry_success_rate)), spec.max_failures

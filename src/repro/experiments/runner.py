@@ -64,13 +64,17 @@ def _run_spec(spec: tuple) -> ExperimentResult:
     return fn(*args, **kwargs)
 
 
-def run_all(quick: bool = False, jobs: int | None = None) -> list[ExperimentResult]:
+def run_all(
+    quick: bool = False, jobs: int | None = None, pool=None
+) -> list[ExperimentResult]:
     """All experiments: paper order, then the §VIII extension.
 
     ``jobs`` fans the battery across a process pool (``None``/1 serial,
-    0 = all cores); results always come back in paper order.
+    0 = all cores); ``pool`` (a :class:`repro.parallel.WorkerPool`)
+    reuses persistent workers instead.  Results always come back in
+    paper order.
     """
-    return parallel_map(_run_spec, _experiment_specs(quick), jobs=jobs)
+    return parallel_map(_run_spec, _experiment_specs(quick), jobs=jobs, pool=pool)
 
 
 def main(argv=None) -> int:

@@ -9,7 +9,12 @@ across processes.  This module is the one place that owns that policy:
   count (``None``/1 = serial, 0 or negative = all cores);
 * :func:`parallel_map` — order-preserving map over a process pool that
   degrades to a plain loop when one worker (or one item) makes a pool
-  pointless.
+  pointless;
+* :class:`WorkerPool` — a *persistent* pool reused across fan-out
+  calls (one process spawn per CLI invocation instead of one per
+  sweep), optionally exporting film content to every worker through
+  ``multiprocessing.shared_memory`` so payload generation happens once
+  per machine.
 
 Results are returned **in submission order** no matter which worker
 finishes first, so callers get order-independent merging for free — a
@@ -27,7 +32,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["resolve_jobs", "parallel_map"]
+__all__ = ["resolve_jobs", "parallel_map", "WorkerPool"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -52,6 +57,7 @@ def parallel_map(
     items: Iterable[T],
     jobs: int | None = None,
     chunksize: int = 1,
+    pool: "WorkerPool | None" = None,
 ) -> list[R]:
     """``[fn(x) for x in items]``, fanned out across processes.
 
@@ -61,12 +67,137 @@ def parallel_map(
     tracebacks readable and makes serial-vs-parallel comparisons a pure
     scheduling experiment.
 
+    Passing ``pool`` (a :class:`WorkerPool`) reuses its long-lived
+    workers instead of spawning a fresh executor for this one call;
+    ``jobs`` is then ignored — the pool's size governs.
+
     Results always come back in item order; a worker raising propagates
     the exception to the caller after the pool shuts down.
     """
+    if pool is not None:
+        return pool.map(fn, items, chunksize=chunksize)
     work: Sequence[T] = list(items)
     n_workers = min(resolve_jobs(jobs), len(work))
     if n_workers <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(fn, work, chunksize=chunksize))
+    with ProcessPoolExecutor(max_workers=n_workers) as pool_:
+        return list(pool_.map(fn, work, chunksize=chunksize))
+
+
+def _attach_films(specs: tuple) -> None:
+    """Pool initializer: map the parent's shared film blocks read-only."""
+    from .workloads.film import attach_shared_film
+
+    for seed, payload_bytes, name, shape in specs:
+        attach_shared_film(seed, payload_bytes, name, shape)
+
+
+class WorkerPool:
+    """A persistent process pool spanning many fan-out calls.
+
+    ``parallel_map`` spawns (and tears down) a fresh
+    :class:`~concurrent.futures.ProcessPoolExecutor` per call; across a
+    campaign sweep or an experiment battery that re-pays worker startup
+    and module import once per sweep.  A ``WorkerPool`` pays it once:
+    the executor is created lazily on the first real fan-out and reused
+    until :meth:`close` (it is also a context manager).
+
+    :meth:`share_film` additionally materialises a film's payloads into
+    a ``multiprocessing.shared_memory`` block exported to every worker
+    through the pool initializer, so content generation happens once
+    per machine instead of once per process — the bytes served are
+    identical to on-demand generation, preserving bit-identity between
+    pooled, per-call-parallel and serial runs.
+
+    Like :func:`parallel_map`, a pool sized 1 (or a single-item map)
+    runs inline — a ``WorkerPool(jobs=1)`` is a zero-cost stand-in.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.n_workers = resolve_jobs(jobs)
+        self._executor: ProcessPoolExecutor | None = None
+        self._films: list[tuple[int, int, str, tuple]] = []
+        self._shm: list = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def share_film(
+        self,
+        seed: int,
+        payload_bytes: int,
+        n_stripes: int,
+        n_i: int,
+        n_j: int,
+    ) -> None:
+        """Materialise one film block and export it to every worker.
+
+        The parent process also serves lookups from the block (see
+        :func:`repro.workloads.film.register_shared_film`).  Calling
+        this after workers have started recycles the executor so new
+        workers attach the block at spawn.
+        """
+        from multiprocessing import shared_memory
+
+        import numpy as np
+
+        from .workloads import film as film_mod
+
+        shape = (n_stripes, n_i, n_j, payload_bytes)
+        size = int(np.prod(shape))
+        if size <= 0:
+            return
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        block = np.ndarray(shape, dtype=np.uint8, buffer=shm.buf)
+        film_mod.build_film_block(seed, payload_bytes, n_stripes, n_i, n_j, out=block)
+        film_mod.register_shared_film(seed, payload_bytes, block)
+        self._shm.append((seed, payload_bytes, shm))
+        self._films.append((seed, payload_bytes, shm.name, shape))
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    def map(
+        self, fn: Callable[[T], R], items: Iterable[T], chunksize: int = 1
+    ) -> list[R]:
+        """Order-preserving map on the persistent workers.
+
+        Same contract as :func:`parallel_map`; the pool stays warm
+        afterwards for the next call.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        work: Sequence[T] = list(items)
+        if self.n_workers <= 1 or len(work) <= 1:
+            return [fn(item) for item in work]
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_attach_films if self._films else None,
+                initargs=(tuple(self._films),) if self._films else (),
+            )
+        return list(self._executor.map(fn, work, chunksize=chunksize))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down and release the shared-memory blocks."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        from .workloads import film as film_mod
+
+        for seed, payload_bytes, shm in self._shm:
+            film_mod.unregister_shared_film(seed, payload_bytes)
+            shm.close()
+            shm.unlink()
+        self._shm.clear()
+        self._films.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

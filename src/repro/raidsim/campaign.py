@@ -361,6 +361,7 @@ def compare_sweep(
     root_seed: int = 2012,
     jobs: int | None = None,
     plan_kwargs: dict | None = None,
+    pool=None,
     **campaign_kwargs,
 ) -> SweepResult:
     """Traditional vs shifted over ``n_seeds`` independent storms.
@@ -375,7 +376,9 @@ def compare_sweep(
 
     ``jobs`` fans points across a process pool
     (:func:`repro.parallel.parallel_map` conventions: ``None``/1 serial,
-    0 = all cores).  Results are merged in seed order and are
+    0 = all cores); passing ``pool`` (a
+    :class:`repro.parallel.WorkerPool`) reuses its persistent workers
+    across sweeps instead.  Results are merged in seed order and are
     bit-identical to the serial run — there is a regression test
     pinning that.
     """
@@ -393,7 +396,7 @@ def compare_sweep(
         )
         for index, (fault_seed, user_seed) in enumerate(seeds)
     ]
-    points = parallel_map(_sweep_point, tasks, jobs=jobs)
+    points = parallel_map(_sweep_point, tasks, jobs=jobs, pool=pool)
     return SweepResult(
         family=family, n=n, root_seed=root_seed, points=tuple(points)
     )

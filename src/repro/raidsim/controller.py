@@ -621,9 +621,15 @@ class RaidController:
                         stats.mid_rebuild_failures = tuple(
                             sorted(set(stats.mid_rebuild_failures) | set(new_dead))
                         )
-                        # the failure set grew: flush memoised plans (the
-                        # explicit invalidation point of the plan cache)
-                        self.plan_cache.invalidate()
+                        # the failure set grew: drop only the memoised
+                        # plans whose logical sets the new deaths touch
+                        # (the explicit invalidation point of the cache)
+                        affected = {
+                            self.stack.logical_disk(s, d)
+                            for d in new_dead
+                            for s in range(self.n_stripes)
+                        }
+                        self.plan_cache.invalidate(affected)
                         break  # regroup with the enlarged failure set
         finally:
             self._rebuilding = ()

@@ -20,7 +20,14 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["FilmSource", "DEFAULT_PAYLOAD_BYTES"]
+__all__ = [
+    "FilmSource",
+    "DEFAULT_PAYLOAD_BYTES",
+    "build_film_block",
+    "register_shared_film",
+    "unregister_shared_film",
+    "attach_shared_film",
+]
 
 DEFAULT_PAYLOAD_BYTES = 64
 
@@ -39,6 +46,72 @@ def _element_payload(seed: int, payload_bytes: int, stripe: int, i: int, j: int)
     payload = rng.integers(0, 256, payload_bytes, dtype=np.uint8)
     payload.setflags(write=False)
     return payload
+
+
+#: pre-materialised film blocks keyed ``(seed, payload_bytes)`` — a
+#: ``(stripes, i, j, payload)`` uint8 array consulted before the
+#: per-element generator.  Typically backed by a
+#: ``multiprocessing.shared_memory`` buffer exported to pool workers by
+#: :class:`repro.parallel.WorkerPool`, so content generation happens
+#: once per machine instead of once per process.
+_shared_films: dict[tuple[int, int], np.ndarray] = {}
+#: worker-side SharedMemory handles, kept alive for the process lifetime
+_shared_handles: list = []
+
+
+def build_film_block(
+    seed: int,
+    payload_bytes: int,
+    n_stripes: int,
+    n_i: int,
+    n_j: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Materialise a whole film into one ``(stripes, i, j, payload)`` array.
+
+    Every cell is byte-identical to what :meth:`FilmSource.element`
+    would generate on demand — this is the content that gets computed
+    once and shared, not a different film.
+    """
+    if out is None:
+        out = np.empty((n_stripes, n_i, n_j, payload_bytes), dtype=np.uint8)
+    for stripe in range(n_stripes):
+        for i in range(n_i):
+            for j in range(n_j):
+                out[stripe, i, j] = _element_payload(seed, payload_bytes, stripe, i, j)
+    return out
+
+
+def register_shared_film(seed: int, payload_bytes: int, block: np.ndarray) -> None:
+    """Serve ``(seed, payload_bytes)`` lookups from a pre-built block.
+
+    Out-of-range coordinates still fall back to the per-element
+    generator, so a block sized for one campaign never changes the
+    content of a larger one.
+    """
+    block.setflags(write=False)
+    _shared_films[(seed, payload_bytes)] = block
+
+
+def unregister_shared_film(seed: int, payload_bytes: int) -> None:
+    """Drop a registered block (before its backing memory is released)."""
+    _shared_films.pop((seed, payload_bytes), None)
+
+
+def attach_shared_film(
+    seed: int, payload_bytes: int, shm_name: str, shape: tuple
+) -> None:
+    """Worker-side: map an existing shared-memory film block read-only.
+
+    Runs in the pool initializer — the handle is kept alive for the
+    process lifetime, so the mapping outlives this call.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    _shared_handles.append(shm)
+    block = np.ndarray(shape, dtype=np.uint8, buffer=shm.buf)
+    register_shared_film(seed, payload_bytes, block)
 
 
 class FilmSource:
@@ -62,9 +135,17 @@ class FilmSource:
     def element(self, stripe: int, i: int, j: int) -> np.ndarray:
         """The payload of data element ``a[i, j]`` of ``stripe``.
 
-        The returned array is cached and read-only; copy before
+        Served from a registered shared block when one covers the
+        coordinates (see :func:`register_shared_film`), otherwise
+        generated and memoised per element — the bytes are identical
+        either way.  The returned array is read-only; copy before
         mutating (ndarray assignment into a content store copies).
         """
+        block = _shared_films.get((self.seed, self.payload_bytes))
+        if block is not None and (
+            stripe < block.shape[0] and i < block.shape[1] and j < block.shape[2]
+        ):
+            return block[stripe, i, j]
         return _element_payload(self.seed, self.payload_bytes, stripe, i, j)
 
     def fresh(self, rng: np.random.Generator) -> np.ndarray:

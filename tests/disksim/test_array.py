@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.disksim.array import DEFAULT_ELEMENT_SIZE, ElementArray
+from repro.disksim.array import (
+    DEFAULT_ELEMENT_SIZE,
+    BatchSubmission,
+    ElementArray,
+    batch_enabled,
+    set_batch_enabled,
+)
 from repro.disksim.disk import DiskParameters
 from repro.disksim.request import IOKind
 
@@ -47,6 +54,102 @@ def test_submit_elements_dedups_slots():
     reqs = arr.submit_elements([(0, 2), (0, 2), (0, 2)], IOKind.READ)
     assert len(reqs) == 1
     assert reqs[0].size == 4 * _MB
+
+
+def test_batch_contract_exposes_op_to_request_mapping():
+    """Dedup is part of coalescing: the return value is the authoritative
+    batch, and every submitted op maps back to its covering request."""
+    arr = _ideal(2)
+    ops = [(0, 0), (1, 5), (0, 1), (0, 0)]
+    reqs = arr.submit_elements(ops, IOKind.READ)
+    assert isinstance(reqs, BatchSubmission)
+    assert len(reqs) == 2  # (0, 0..1) coalesced + (1, 5)
+    per_op = reqs.op_requests()
+    assert len(per_op) == len(ops)
+    assert per_op[0] is per_op[2] is per_op[3]  # all covered by (0, 0..1)
+    assert per_op[0].disk == 0 and per_op[0].size == 8 * _MB
+    assert per_op[1].disk == 1 and per_op[1].offset == 5 * 4 * _MB
+
+
+def test_callback_fires_per_coalesced_request_not_per_op():
+    """The documented miscount: 3 ops over 2 requests fire 2 callbacks."""
+    arr = _ideal(1)
+    fired = []
+    ops = [(0, 2), (0, 2), (0, 7)]
+    reqs = arr.submit_elements(ops, IOKind.READ, callback=fired.append)
+    arr.run()
+    assert len(reqs) == 2
+    assert len(fired) == 2  # never len(ops)
+
+
+def test_submit_batch_accepts_numpy_arrays_and_sizes():
+    arr = _ideal(2)
+    reqs = arr.submit_batch(
+        np.array([0, 0, 1]),
+        np.array([0, 2, 4]),
+        IOKind.READ,
+        n_elements=np.array([3, 2, 1]),  # [0,3) and [2,4) overlap-merge
+    )
+    spans = sorted((r.disk, r.offset // (4 * _MB), r.size // (4 * _MB)) for r in reqs)
+    assert spans == [(0, 0, 4), (1, 4, 1)]
+
+
+def test_submit_batch_rejects_mismatched_arrays():
+    arr = _ideal(1)
+    with pytest.raises(ValueError, match="parallel"):
+        arr.submit_batch([0, 0], [1], IOKind.READ)
+    with pytest.raises(ValueError, match="range"):
+        arr.submit_batch([0], [-1], IOKind.READ)
+
+
+def test_numpy_and_scalar_coalescers_agree_on_random_batches():
+    """The vectorized path must be a pure speedup: identical runs and
+    identical op→request mapping as the scalar loop, duplicates and
+    variable sizes included."""
+    arr = _ideal(4)
+    rng = np.random.default_rng(7)
+    for _ in range(5):
+        m = int(rng.integers(60, 140))
+        disks = rng.integers(0, 4, m).tolist()
+        slots = rng.integers(0, 30, m).tolist()
+        sizes = rng.integers(1, 4, m).tolist()
+        for n_elements in (None, sizes):
+            scalar = arr._coalesce_scalar(disks, slots, n_elements)
+            vector = arr._coalesce_numpy(disks, slots, n_elements)
+            assert [tuple(r) for r in vector[0]] == [tuple(r) for r in scalar[0]]
+            assert list(vector[1]) == list(scalar[1])
+
+
+def test_batch_toggle_preserves_requests_and_timings():
+    """REPRO_BATCH=0 ablation: the per-element path and the batch path
+    produce byte-identical request streams and completion times."""
+    rng = np.random.default_rng(11)
+    ops = [
+        (int(d), int(s))
+        for d, s in zip(rng.integers(0, 3, 80), rng.integers(0, 25, 80))
+    ]
+
+    def run(enabled):
+        old = set_batch_enabled(enabled)
+        try:
+            arr = _ideal(3)
+            reqs = arr.submit_elements(ops, IOKind.READ)
+            arr.run()
+            return [
+                (r.disk, r.offset, r.size, r.start_time, r.finish_time) for r in reqs
+            ]
+        finally:
+            set_batch_enabled(old)
+
+    assert run(True) == run(False)
+    assert batch_enabled() in (True, False)  # toggle restored
+
+
+def test_empty_submission_has_empty_mapping():
+    arr = _ideal(1)
+    reqs = arr.submit_elements([], IOKind.READ)
+    assert list(reqs) == []
+    assert reqs.op_requests() == []
 
 
 def test_group_callback_fires_after_all():

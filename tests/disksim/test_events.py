@@ -108,6 +108,60 @@ def test_run_until_pauses_clock():
     assert len(sim.completed) == 1
 
 
+def test_run_until_never_moves_clock_backwards():
+    """Regression: ``run(until=2.0)`` after the clock reached ~1 s used
+    to rewind ``now`` — time must be monotone."""
+    sim = _sim(1)
+    sim.submit(IORequest(0, 0, 54 * _MB, IOKind.READ))
+    t_done = sim.run()  # quiescent near 1 s
+    assert t_done > 0.5
+    assert sim.run(until=0.2) == t_done
+    assert sim.now == t_done
+
+
+def test_run_until_advances_idle_clock():
+    """Regression: ``run(until=9.0)`` with no events left ``now`` at 0
+    — an idle engine must still wait out the wall-clock."""
+    sim = _sim(1)
+    assert sim.run(until=9.0) == pytest.approx(9.0)
+    assert sim.now == pytest.approx(9.0)
+    # and a later submission is stamped at the advanced clock
+    req = IORequest(0, 0, _MB, IOKind.READ)
+    sim.submit(req)
+    sim.run()
+    assert req.submit_time == pytest.approx(9.0)
+
+
+def test_submit_many_matches_sequential_submits():
+    """The batch entry point is pure mechanics: identical schedules,
+    service starts and completion order as one ``submit`` per request."""
+    def build():
+        return [
+            IORequest(k % 2, (7 * k % 5) * _MB, _MB, IOKind.READ) for k in range(12)
+        ]
+
+    loop_sim, batch_sim = _sim(2), _sim(2)
+    loop_reqs, batch_reqs = build(), build()
+    for r in loop_reqs:
+        loop_sim.submit(r)
+    batch_sim.submit_many(batch_reqs)
+    loop_sim.run()
+    batch_sim.run()
+    timings = lambda reqs: [(r.start_time, r.finish_time) for r in reqs]
+    assert timings(loop_reqs) == timings(batch_reqs)
+
+
+def test_submit_many_rejects_unknown_disk_and_fires_callbacks():
+    sim = _sim(1)
+    with pytest.raises(ValueError, match="unknown disk"):
+        sim.submit_many([IORequest(5, 0, _MB, IOKind.READ)])
+    seen = []
+    reqs = [IORequest(0, k * _MB, _MB, IOKind.READ) for k in range(3)]
+    sim.submit_many(reqs, callback=seen.append)
+    sim.run()
+    assert sorted(r.offset for r in seen) == [0, _MB, 2 * _MB]
+
+
 def test_pending_count_tracks_in_flight():
     sim = _sim(1)
     sim.submit(IORequest(0, 0, _MB, IOKind.READ))

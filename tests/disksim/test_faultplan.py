@@ -146,6 +146,40 @@ def test_transient_rate_zero_never_fires():
         assert not req.error
 
 
+def test_unretried_transient_does_not_leak_into_fresh_reads():
+    """Regression: a triggered transient that was never retried left its
+    pending failure budget behind, so a *later independent read* of the
+    same geometry was misclassified as a retry (it errored, or silently
+    consumed the stale budget).  A fresh ``attempt == 0`` read must
+    redraw from the trigger probability instead."""
+    # a seed where the first read triggers with a multi-failure budget
+    # (leaving pending state behind) and the second read's redraw stays
+    # clean — mirroring the ActiveFaults rng stream exactly
+    rate, success = 0.5, 0.3
+    for seed in range(1000):
+        rng = np.random.default_rng(seed)
+        if (
+            float(rng.random()) < rate
+            and int(rng.geometric(success)) >= 2
+            and float(rng.random()) >= rate
+        ):
+            break
+    else:  # pragma: no cover - the search space makes this unreachable
+        pytest.fail("no suitable seed found")
+    plan = FaultPlan(seed=seed).with_transients(
+        rate=rate, retry_success_rate=success, max_failures=4
+    )
+    active = _activate(plan)
+    first = _read(0, 0)
+    active.on_completion(first)
+    assert first.error and first.error_kind == "transient"
+    assert active._transient_pending  # budget parked, never retried
+    second = _read(0, 0)  # independent fresh read, attempt == 0
+    active.on_completion(second)
+    assert not second.error
+    assert active._transient_pending == {}
+
+
 def test_transients_ignore_writes():
     active = _activate(FaultPlan(seed=0).with_transients(rate=1.0))
     req = IORequest(0, 0, ELEM, IOKind.WRITE)

@@ -65,6 +65,83 @@ def test_mutually_exclusive_fault_sources():
 
 
 # ----------------------------------------------------------------------
+# timeout / retry interplay (_RetryBatch)
+# ----------------------------------------------------------------------
+
+
+def test_timed_out_but_successful_final_attempt_is_accepted_as_slow():
+    """A read that only ever ran out of *timeout* retries did deliver its
+    bytes — it must count as ``slow_reads_accepted``, never as an
+    ``abandoned_request`` (those are reads that errored out of budget)."""
+    # every read on every source disk is slow enough to trip the timeout
+    plan = FaultPlan(seed=1).with_transients(rate=0.0)
+    for d in range(2 * N):  # mirror: n data + n replica disks
+        plan = plan.with_fail_slow(d, 50.0)
+    policy = RetryPolicy(max_attempts=2, backoff_base_s=0.001, timeout_s=1e-6)
+    ctrl = _controller(shifted_mirror(N), plan, retry_policy=policy)
+    result = ctrl.rebuild([0])
+    stats = result.fault_stats
+    assert result.verified and not result.aborted
+    assert stats.timeouts > 0
+    assert stats.retries > 0
+    # the final attempts were still too slow, yet carried the data
+    assert stats.slow_reads_accepted > 0
+    assert stats.abandoned_requests == 0
+
+
+def test_timeout_retry_backoff_appears_in_makespan():
+    """Backoff is priced in simulated time: the same timed-out rebuild
+    with a fatter backoff base must take measurably longer."""
+    def run(backoff_base_s):
+        # no fail-slow: the backoff must starve the source disk, not
+        # hide inside an already-saturated queue
+        plan = FaultPlan(seed=1).with_transients(rate=0.0)
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base_s=backoff_base_s, timeout_s=1e-6
+        )
+        ctrl = _controller(shifted_mirror(N), plan, retry_policy=policy)
+        result = ctrl.rebuild([0])
+        return result.makespan_s, result.fault_stats
+
+    fast_span, fast_stats = run(0.0)
+    slow_span, slow_stats = run(0.5)
+    assert fast_stats.retries == slow_stats.retries > 0
+    assert slow_stats.backoff_time_s > fast_stats.backoff_time_s == 0.0
+    assert slow_span > fast_span + 0.4  # at least one 0.5 s backoff visible
+
+
+def test_timeout_rebuild_deterministic_with_batch_path_off():
+    """The retry/timeout pipeline must not depend on the batch fast
+    path: REPRO_BATCH=0 replays the identical rebuild."""
+    from repro.disksim.array import set_batch_enabled
+
+    def run():
+        plan = FaultPlan(seed=3).with_transients(rate=0.2).with_fail_slow(1, 20.0)
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=0.01, timeout_s=0.05)
+        ctrl = _controller(shifted_mirror_parity(N), plan, retry_policy=policy)
+        result = ctrl.rebuild([0])
+        s = result.fault_stats
+        return (
+            result.makespan_s,
+            result.verified,
+            s.retries,
+            s.timeouts,
+            s.slow_reads_accepted,
+            s.abandoned_requests,
+            s.backoff_time_s,
+        )
+
+    batched = run()
+    old = set_batch_enabled(False)
+    try:
+        unbatched = run()
+    finally:
+        set_batch_enabled(old)
+    assert batched == unbatched
+    assert batched[1] is True
+
+
+# ----------------------------------------------------------------------
 # transient errors during rebuild
 # ----------------------------------------------------------------------
 

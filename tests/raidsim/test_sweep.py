@@ -37,6 +37,21 @@ def test_parallel_sweep_bit_identical_to_serial():
     assert serial == pooled
 
 
+def test_persistent_pool_sweep_bit_identical_to_serial():
+    """A WorkerPool with a shared film block is still a pure scheduling
+    decision — two sweeps on one pool both match the serial run."""
+    from repro.parallel import WorkerPool
+
+    serial = compare_sweep("mirror", 3, n_seeds=3, jobs=1, **_KW)
+    with WorkerPool(jobs=2) as pool:
+        # campaign film: controller seed 2012, payload 16 (run_campaign
+        # default), sized for the sweep's stripes and mirror geometry
+        pool.share_film(2012, 16, n_stripes=_KW["n_stripes"], n_i=3, n_j=3)
+        first = compare_sweep("mirror", 3, n_seeds=3, pool=pool, **_KW)
+        second = compare_sweep("mirror", 3, n_seeds=3, pool=pool, **_KW)
+    assert serial == first == second
+
+
 def test_sweep_points_carry_their_seeds_in_order():
     sweep = compare_sweep("mirror", 3, n_seeds=3, jobs=1, **_KW)
     assert isinstance(sweep, SweepResult)

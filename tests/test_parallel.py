@@ -1,0 +1,97 @@
+"""Persistent worker pool: reuse, shared film payloads, bit-identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import WorkerPool, parallel_map, resolve_jobs
+from repro.workloads.film import (
+    FilmSource,
+    _element_payload,
+    build_film_block,
+    register_shared_film,
+    unregister_shared_film,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _film_bytes(args) -> bytes:
+    """Worker fn: read one film element (via shared block when mapped)."""
+    seed, payload_bytes, stripe, i, j = args
+    return FilmSource(payload_bytes, seed).element(stripe, i, j).tobytes()
+
+
+def test_resolve_jobs_conventions():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) >= 1
+
+
+def test_pool_of_one_runs_inline():
+    with WorkerPool(jobs=1) as pool:
+        assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.map(_square, [1, 2])
+
+
+def test_pool_reused_across_maps_preserving_order():
+    with WorkerPool(jobs=2) as pool:
+        first = pool.map(_square, range(8))
+        second = pool.map(_square, range(8, 16))
+    assert first == [x * x for x in range(8)]
+    assert second == [x * x for x in range(8, 16)]
+
+
+def test_parallel_map_delegates_to_pool():
+    with WorkerPool(jobs=2) as pool:
+        assert parallel_map(_square, [3, 4], pool=pool) == [9, 16]
+    # without a pool the per-call path still works
+    assert parallel_map(_square, [3, 4], jobs=1) == [9, 16]
+
+
+def test_film_block_matches_on_demand_generation():
+    block = build_film_block(5, 8, n_stripes=3, n_i=2, n_j=2)
+    for stripe in range(3):
+        for i in range(2):
+            for j in range(2):
+                assert np.array_equal(
+                    block[stripe, i, j], _element_payload(5, 8, stripe, i, j)
+                )
+
+
+def test_registered_block_serves_lookups_and_falls_back_out_of_range():
+    seed, payload = 123, 8
+    block = build_film_block(seed, payload, n_stripes=2, n_i=2, n_j=2)
+    register_shared_film(seed, payload, block)
+    try:
+        src = FilmSource(payload, seed)
+        covered = src.element(1, 1, 1)
+        assert np.array_equal(covered, block[1, 1, 1])
+        assert not covered.flags.writeable
+        # beyond the block: generated on demand, identical content rules
+        beyond = src.element(5, 0, 0)
+        assert np.array_equal(beyond, _element_payload(seed, payload, 5, 0, 0))
+    finally:
+        unregister_shared_film(seed, payload)
+
+
+def test_shared_film_workers_see_identical_bytes():
+    """Workers reading through the shared-memory block must return the
+    exact bytes the parent (and on-demand generation) produce."""
+    seed, payload = 77, 8
+    tasks = [(seed, payload, stripe, i, j) for stripe in range(2) for i in range(2) for j in range(2)]
+    expected = [
+        _element_payload(seed, payload, s, i, j).tobytes()
+        for (_, _, s, i, j) in tasks
+    ]
+    with WorkerPool(jobs=2) as pool:
+        pool.share_film(seed, payload, n_stripes=2, n_i=2, n_j=2)
+        got = pool.map(_film_bytes, tasks)
+    assert got == expected
+    # the parent registration is gone after close; regeneration still agrees
+    assert _film_bytes(tasks[0]) == expected[0]
