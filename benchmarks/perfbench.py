@@ -21,10 +21,17 @@ Kernels:
 * ``campaign_parallel``   — the same sweep fanned over every core
 * ``campaign_pooled``     — the same sweep on a persistent ``WorkerPool``
                             with a shared-memory film block
+* ``obs_overhead``        — the engine kernel under three observability
+                            configurations: a hook-free engine subclass
+                            (``bare``), the real engine with the null
+                            sink (``REPRO_OBS=0``), and fully
+                            instrumented
 
 Derived ratios land in the record too: ``plan_cache_speedup``
-(nocache / cached), ``parallel_speedup`` (serial / parallel) and
-``pool_speedup`` (per-call pool / persistent pool).
+(nocache / cached), ``parallel_speedup`` (serial / parallel),
+``pool_speedup`` (per-call pool / persistent pool) and
+``obs_null_overhead`` (null-sink slowdown over the hook-free engine —
+the ≤2% contract ``--obs-overhead`` gates in CI).
 Gate a run against a baseline with ``tools/bench_compare.py``.
 
 ``--no-batch`` disables the vectorized batch path for the whole run
@@ -35,6 +42,7 @@ against the per-element record so it can never silently regress.
 from __future__ import annotations
 
 import argparse
+import heapq
 import json
 import os
 import platform
@@ -47,6 +55,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.core.layouts import shifted_mirror_parity  # noqa: E402
 from repro.disksim.array import ElementArray  # noqa: E402
 from repro.disksim.disk import DiskParameters  # noqa: E402
+from repro.disksim.events import Simulation  # noqa: E402
 from repro.disksim.request import IOKind  # noqa: E402
 from repro.disksim.scheduler import ElevatorScheduler  # noqa: E402
 from repro.raidsim.campaign import compare_sweep  # noqa: E402
@@ -150,6 +159,101 @@ def kernel_campaign_pooled(n_seeds: int, n_stripes: int) -> float:
     return _time(drive)
 
 
+class _BareSimulation(Simulation):
+    """The engine with its observability hooks surgically removed.
+
+    ``_complete`` and ``run`` carry the pre-instrumentation bodies, so
+    timing this subclass against the real engine under ``REPRO_OBS=0``
+    prices exactly the null-sink residue (one ``is not None`` check per
+    completion plus one counter flush per ``run``) and nothing else.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._obs = None
+
+    def _complete(self, server, request) -> None:
+        server.busy = False
+        server.current = None
+        if self.faults is not None:
+            self.faults.on_completion(request)
+        self.completed.append(request)
+        cb = self._callbacks.pop(request.req_id, None)
+        if cb is not None:
+            cb(request)
+        self._start_next(server)
+
+    def run(self, until=None):
+        events = self._events
+        if until is not None and until <= self.now:
+            return self.now
+        while events:
+            t = events[0][0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            _, _, action, args = heapq.heappop(events)
+            self.now = t
+            action(*args)
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+
+def kernel_obs_overhead(n_requests: int, repeats: int) -> dict:
+    """Engine kernel under bare / null-sink / instrumented configs.
+
+    Returns best-of-``repeats`` seconds per config plus the two
+    slowdown ratios.  The null-sink ratio is the observability
+    contract: components constructed under ``REPRO_OBS=0`` must cost
+    within 2% of an engine that never heard of metrics.
+    """
+    import numpy as np
+
+    from repro.obs import set_obs_enabled
+
+    element = 4 * 1024 * 1024
+    rng = np.random.default_rng(0)
+    disks = [int(d) for d in rng.integers(0, 8, size=n_requests)]
+    offsets = [int(o) * element for o in rng.integers(0, 512, size=n_requests)]
+
+    def drive(sim_cls, enabled: bool) -> float:
+        from repro.disksim.request import IORequest
+
+        old = set_obs_enabled(enabled)
+        try:
+            sim = sim_cls(8, DiskParameters.savvio_10k3(), ElevatorScheduler)
+        finally:
+            set_obs_enabled(old)
+
+        def go() -> None:
+            for d, off in zip(disks, offsets):
+                sim.submit(IORequest(disk=d, offset=off, size=element, kind=IOKind.READ))
+            sim.run()
+
+        return _time(go)
+
+    # interleave the three configs within each round: sequential blocks
+    # bias the comparison (warm-up and CPU frequency drift land entirely
+    # on whichever config runs first), which at a 2% threshold drowns
+    # the signal being gated
+    bare, null, instrumented = [], [], []
+    for _ in range(repeats):
+        bare.append(drive(_BareSimulation, enabled=False))
+        null.append(drive(Simulation, enabled=False))
+        instrumented.append(drive(Simulation, enabled=True))
+    bare_s = min(bare)
+    null_s = min(null)
+    instrumented_s = min(instrumented)
+    return {
+        "bare_s": bare_s,
+        "null_s": null_s,
+        "instrumented_s": instrumented_s,
+        "null_overhead": null_s / max(bare_s, 1e-9) - 1.0,
+        "instrumented_overhead": instrumented_s / max(bare_s, 1e-9) - 1.0,
+    }
+
+
 # ----------------------------------------------------------------------
 # harness
 # ----------------------------------------------------------------------
@@ -199,8 +303,18 @@ def run_suite(tiny: bool, repeats: int) -> dict:
         scale["sweep_seeds"], scale["sweep_stripes"]
     )
     print(f"  campaign_pooled   {kernels['campaign_pooled']:.3f} s")
+    obs = kernel_obs_overhead(scale["engine_requests"], repeats)
+    kernels["engine_bare"] = obs["bare_s"]
+    kernels["engine_nullsink"] = obs["null_s"]
+    kernels["engine_instrumented"] = obs["instrumented_s"]
+    print(f"  obs_overhead      bare {obs['bare_s']:.3f} s, "
+          f"null {obs['null_s']:.3f} s ({obs['null_overhead']:+.1%}), "
+          f"instrumented {obs['instrumented_s']:.3f} s "
+          f"({obs['instrumented_overhead']:+.1%})")
 
     derived = {
+        "obs_null_overhead": obs["null_overhead"],
+        "obs_instrumented_overhead": obs["instrumented_overhead"],
         "plan_cache_speedup": kernels["rebuild_nocache"]
         / max(kernels["rebuild_cached"], 1e-9),
         "parallel_speedup": kernels["campaign_serial"]
@@ -240,7 +354,30 @@ def main(argv=None) -> int:
     parser.add_argument("--no-batch", action="store_true",
                         help="disable the vectorized batch path for the "
                              "whole run (per-element ablation)")
+    parser.add_argument("--obs-overhead", action="store_true",
+                        help="run only the observability overhead gate: "
+                             "fail (exit 1) if the null-sink engine is "
+                             "more than 2%% slower than the hook-free one")
+    parser.add_argument("--obs-tolerance", type=float, default=0.02,
+                        help="allowed null-sink slowdown for --obs-overhead "
+                             "(default 0.02 = 2%%)")
     args = parser.parse_args(argv)
+
+    if args.obs_overhead:
+        n_requests = 2000 if args.tiny else 20000
+        repeats = max(args.repeats, 5)  # 2%-level gating needs stable best-of
+        obs = kernel_obs_overhead(n_requests, repeats)
+        print(f"obs overhead gate ({n_requests} requests, best of {repeats}):")
+        print(f"  bare          {obs['bare_s']:.4f} s")
+        print(f"  null sink     {obs['null_s']:.4f} s  ({obs['null_overhead']:+.2%})")
+        print(f"  instrumented  {obs['instrumented_s']:.4f} s  "
+              f"({obs['instrumented_overhead']:+.2%})")
+        if obs["null_overhead"] > args.obs_tolerance:
+            print(f"FAIL: null-sink overhead {obs['null_overhead']:.2%} exceeds "
+                  f"{args.obs_tolerance:.0%}", file=sys.stderr)
+            return 1
+        print(f"OK: null-sink overhead within {args.obs_tolerance:.0%}")
+        return 0
 
     if args.no_batch:
         from repro.disksim.array import set_batch_enabled

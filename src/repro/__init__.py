@@ -15,6 +15,9 @@ Subpackages
 * :mod:`repro.workloads` — write mixes, user read streams, synthetic
   film content.
 * :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.obs` — metrics registry, span tracer and exporters
+  (chrome://tracing JSON, metrics snapshots); ``REPRO_OBS=0`` selects
+  the zero-overhead null sink.
 
 Quick start
 -----------
@@ -27,6 +30,15 @@ Quick start
 
 __version__ = "1.0.0"
 
-from . import codes, core, disksim, experiments, raidsim, workloads
+from . import codes, core, disksim, experiments, obs, raidsim, workloads
 
-__all__ = ["codes", "core", "disksim", "raidsim", "workloads", "experiments", "__version__"]
+__all__ = [
+    "codes",
+    "core",
+    "disksim",
+    "obs",
+    "raidsim",
+    "workloads",
+    "experiments",
+    "__version__",
+]

@@ -16,6 +16,7 @@ Everything a downstream user needs without writing Python::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -175,7 +176,50 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_run_record(run) -> dict:
+    """Machine-readable form of one arrangement's campaign outcome."""
+    import dataclasses
+
+    r = run.rebuild
+    return {
+        "layout": run.layout_name,
+        "availability": run.availability,
+        "data_survival": run.data_survival,
+        "rebuild": {
+            "makespan_s": r.makespan_s,
+            "verified": r.verified,
+            "aborted": r.aborted,
+            "bytes_read": r.bytes_read,
+            "bytes_written": r.bytes_written,
+        },
+        "user_reads": {
+            "served": run.online.n_user_reads,
+            "failed": run.online.failed_user_reads,
+            "mean_latency_s": run.online.mean_user_latency_s,
+            "p95_latency_s": run.online.p95_user_latency_s,
+        },
+        "fault_stats": dataclasses.asdict(run.fault_stats),
+    }
+
+
+def _write_json(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+        fh.write("\n")
+    print(f"json written to {path}", file=sys.stderr)
+
+
+def _finite(x: float) -> float | None:
+    """Infinities become ``null`` so the JSON stays strictly parseable."""
+    import math
+
+    return x if math.isfinite(x) else None
+
+
 def cmd_faultcampaign(args: argparse.Namespace) -> int:
+    from .obs import default_registry
     from .raidsim.campaign import (
         clean_rebuild_makespan,
         compare_arrangements,
@@ -238,6 +282,19 @@ def cmd_faultcampaign(args: argparse.Namespace) -> int:
           f"{cmp_.availability_delta:+.4f}")
     print(f"user latency speedup:  {cmp_.latency_speedup:.2f}x")
     print(f"rebuild speedup:       {cmp_.makespan_speedup:.2f}x")
+    if args.json:
+        _write_json(args.json, {
+            "kind": "faultcampaign",
+            "family": family,
+            "n": args.n,
+            "seed": args.seed,
+            "traditional": _campaign_run_record(cmp_.traditional),
+            "shifted": _campaign_run_record(cmp_.shifted),
+            "availability_delta": cmp_.availability_delta,
+            "latency_speedup": _finite(cmp_.latency_speedup),
+            "makespan_speedup": _finite(cmp_.makespan_speedup),
+            "metrics": default_registry().snapshot(),
+        })
     return 0
 
 
@@ -290,6 +347,33 @@ def _faultcampaign_sweep(args: argparse.Namespace) -> int:
     print(f"mean latency speedup:    {sweep.mean_latency_speedup:.2f}x")
     print(f"worst data survival:     traditional {worst_t:.4f}, "
           f"shifted {worst_s:.4f}")
+    if args.json:
+        from .obs import default_registry
+
+        _write_json(args.json, {
+            "kind": "faultcampaign-sweep",
+            "family": sweep.family,
+            "n": sweep.n,
+            "root_seed": sweep.root_seed,
+            "n_seeds": len(sweep),
+            "shifted_wins": sweep.shifted_wins,
+            "mean_availability_delta": sweep.mean_availability_delta,
+            "mean_latency_speedup": _finite(sweep.mean_latency_speedup),
+            "worst_data_survival": {"traditional": worst_t, "shifted": worst_s},
+            "points": [
+                {
+                    "seed_index": p.seed_index,
+                    "fault_seed": p.fault_seed,
+                    "user_read_seed": p.user_read_seed,
+                    "availability_delta": p.comparison.availability_delta,
+                    "latency_speedup": _finite(p.comparison.latency_speedup),
+                    "traditional": _campaign_run_record(p.comparison.traditional),
+                    "shifted": _campaign_run_record(p.comparison.shifted),
+                }
+                for p in sweep.points
+            ],
+            "metrics": default_registry().snapshot(),
+        })
     return 0
 
 
@@ -317,9 +401,31 @@ def cmd_scrub(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import summarize_files
+
+    if args.obs_what == "summary":
+        print(summarize_files(metrics_path=args.metrics, trace_path=args.trace))
+    return 0
+
+
 # ======================================================================
 # parser
 # ======================================================================
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """``--trace-out`` / ``--metrics-out`` for simulation-running commands."""
+    p.add_argument(
+        "--trace-out", metavar="FILE.json", default=None,
+        help="write a chrome://tracing / Perfetto trace of every "
+             "simulated I/O (one track per disk) to FILE.json",
+    )
+    p.add_argument(
+        "--metrics-out", metavar="FILE.json", default=None,
+        help="write the command's metrics snapshot (counters, gauges, "
+             "histograms) to FILE.json; implies observability on",
+    )
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -371,6 +477,7 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--stripes", type=int, default=16)
     p.add_argument("--ops", type=int, default=200)
     p.add_argument("--seed", type=int, default=42)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
@@ -379,6 +486,7 @@ def _parser() -> argparse.ArgumentParser:
                    help="restrict to experiment ids (table1 fig7 fig8 fig9a fig9b fig10a fig10b ext-three-mirror)")
     p.add_argument("--jobs", type=int, default=None,
                    help="fan experiments across this many processes (0 = all cores)")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_experiments)
 
     p = sub.add_parser("svg", help="render Figs. 7/9/10 as SVG files")
@@ -422,6 +530,10 @@ def _parser() -> argparse.ArgumentParser:
                         "the second-failure knobs apply to single runs only")
     p.add_argument("--jobs", type=int, default=None,
                    help="processes for --seeds sweeps (0 = all cores)")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the full machine-readable result "
+                        "(per-run FaultStats + metrics snapshot) to FILE")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_faultcampaign)
 
     p = sub.add_parser("scrub", help="inject latent sector errors and scrub them")
@@ -432,19 +544,80 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_scrub)
 
+    p = sub.add_parser("obs", help="inspect exported observability artifacts")
+    obs_sub = p.add_subparsers(dest="obs_what", required=True)
+    ps = obs_sub.add_parser(
+        "summary", help="pretty-print a metrics snapshot and/or chrome trace"
+    )
+    ps.add_argument("--metrics", metavar="FILE.json", default=None,
+                    help="metrics snapshot written by --metrics-out")
+    ps.add_argument("--trace", metavar="FILE.json", default=None,
+                    help="chrome trace written by --trace-out")
+    ps.set_defaults(func=cmd_obs)
+
     return parser
 
 
 def main(argv=None) -> int:
     args = _parser().parse_args(argv)
     try:
-        if args.profile:
-            return _run_profiled(args)
-        return args.func(args)
+        return _run_with_obs(args)
     except (ValueError, NotImplementedError, LayoutError, UnrecoverableFailureError) as exc:
         # domain errors become a one-line message, not a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. `repro obs summary | head`) — the
+        # POSIX convention is a silent exit, not a traceback
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _run_with_obs(args: argparse.Namespace) -> int:
+    """Dispatch one command under its requested observability exports.
+
+    ``--trace-out`` installs a process default tracer for the duration
+    of the command (every simulation constructed inside picks it up
+    with zero plumbing); ``--metrics-out`` forces observability on and
+    scopes a fresh registry so the snapshot holds exactly this
+    command's instruments.  Both files are written only after the
+    command ran to completion.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out is None and metrics_out is None:
+        return _dispatch(args)
+
+    from contextlib import ExitStack
+
+    from . import obs
+
+    with ExitStack() as stack:
+        tracer = None
+        if trace_out is not None:
+            tracer = obs.Tracer()
+            old_tracer = obs.set_default_tracer(tracer)
+            stack.callback(obs.set_default_tracer, old_tracer)
+        reg = None
+        if metrics_out is not None:
+            old_enabled = obs.set_obs_enabled(True)
+            stack.callback(obs.set_obs_enabled, old_enabled)
+            reg = stack.enter_context(obs.scoped_registry())
+        rc = _dispatch(args)
+        if tracer is not None:
+            path = obs.write_chrome_trace(trace_out, tracer)
+            print(f"trace written to {path}", file=sys.stderr)
+        if reg is not None:
+            path = obs.write_metrics(metrics_out, reg)
+            print(f"metrics written to {path}", file=sys.stderr)
+        return rc
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.profile:
+        return _run_profiled(args)
+    return args.func(args)
 
 
 def _run_profiled(args: argparse.Namespace) -> int:

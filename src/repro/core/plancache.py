@@ -25,6 +25,7 @@ recovery steps are built as fresh lists).
 
 from __future__ import annotations
 
+from ..obs import default_registry
 from .errors import UnrecoverableFailureError
 from .layouts import Layout
 from .planner import schedule_read_rounds
@@ -55,6 +56,9 @@ class PlanCache:
         "_phases",
         "_rounds",
         "_unrecoverable",
+        "_c_hits",
+        "_c_misses",
+        "_c_invalidated",
     )
 
     def __init__(self, layout: Layout, enabled: bool = True) -> None:
@@ -62,6 +66,14 @@ class PlanCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        # null instruments when observability is off — no extra branch
+        # needed on the lookup path
+        reg = default_registry()
+        self._c_hits = reg.counter("plancache.hits", "plan lookups served from cache").labels()
+        self._c_misses = reg.counter("plancache.misses", "plan lookups that derived a plan").labels()
+        self._c_invalidated = reg.counter(
+            "plancache.invalidated", "plan entries dropped by invalidation"
+        ).labels()
         self._plans: dict[tuple[int, ...], ReconstructionPlan] = {}
         self._phases: dict[tuple[int, ...], list[RebuildPhase]] = {}
         self._rounds: dict[tuple[int, ...], list[list[tuple[int, int]]]] = {}
@@ -80,12 +92,15 @@ class PlanCache:
         cached = self._plans.get(failed_logical)
         if cached is not None:
             self.hits += 1
+            self._c_hits.inc()
             return cached
         message = self._unrecoverable.get(failed_logical)
         if message is not None:
             self.hits += 1
+            self._c_hits.inc()
             raise UnrecoverableFailureError(message)
         self.misses += 1
+        self._c_misses.inc()
         try:
             plan = self.layout.reconstruction_plan(failed_logical)
         except UnrecoverableFailureError as exc:
@@ -139,6 +154,7 @@ class PlanCache:
             self._phases.clear()
             self._rounds.clear()
             self._unrecoverable.clear()
+            self._c_invalidated.inc(dropped)
             return dropped
         aff = frozenset(affected)
         dropped = 0
@@ -148,6 +164,7 @@ class PlanCache:
                 del table[key]
             if table is self._plans:
                 dropped = len(stale)
+        self._c_invalidated.inc(dropped)
         return dropped
 
     def __len__(self) -> int:

@@ -39,6 +39,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import default_registry, obs_enabled
 from .disk import DiskParameters
 from .events import Simulation
 from .request import IOKind, IORequest
@@ -136,6 +137,40 @@ class _BatchGroup:
             self.on_complete()
 
 
+class _ArrayObs:
+    """Batch-path instruments; ``None`` on the array when obs is off."""
+
+    __slots__ = ("coalesce_ratio", "scalar_path", "numpy_path", "batch_ops")
+
+    #: dimensionless ops-per-request ratio buckets (1 = nothing merged)
+    _RATIO_BUCKETS = (1.0, 1.5, 2.0, 3.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+    def __init__(self) -> None:
+        reg = default_registry()
+        self.coalesce_ratio = reg.histogram(
+            "array.coalesce_ratio",
+            "submitted ops per coalesced request, per batch",
+            buckets=self._RATIO_BUCKETS,
+        ).labels()
+        path = reg.counter(
+            "array.batch_path", "batches coalesced by the scalar vs numpy path"
+        )
+        self.scalar_path = path.labels(path="scalar")
+        self.numpy_path = path.labels(path="numpy")
+        self.batch_ops = reg.counter(
+            "array.batch_ops", "element operations submitted through batches"
+        ).labels()
+
+    def on_batch(self, n_ops: int, n_requests: int, used_numpy: bool) -> None:
+        if used_numpy:
+            self.numpy_path.inc()
+        else:
+            self.scalar_path.inc()
+        self.batch_ops.inc(n_ops)
+        if n_requests > 0:
+            self.coalesce_ratio.observe(n_ops / n_requests)
+
+
 class ElementArray:
     """An array of disks addressed by (disk, element slot).
 
@@ -156,13 +191,19 @@ class ElementArray:
         params: DiskParameters | None = None,
         scheduler_factory: Callable[[], Scheduler] = ElevatorScheduler,
         faults=None,
+        tracer=None,
     ) -> None:
         if element_size <= 0:
             raise ValueError(f"element size must be positive, got {element_size}")
         self.element_size = element_size
         self.sim = Simulation(
-            n_disks, params=params, scheduler_factory=scheduler_factory, faults=faults
+            n_disks,
+            params=params,
+            scheduler_factory=scheduler_factory,
+            faults=faults,
+            tracer=tracer,
         )
+        self._obs = _ArrayObs() if obs_enabled() else None
 
     # ------------------------------------------------------------------
     @property
@@ -269,6 +310,8 @@ class ElementArray:
             runs, op_req = self._coalesce_numpy(disks, slots, n_elements)
         else:
             runs, op_req = self._coalesce_scalar(disks, slots, n_elements)
+        if self._obs is not None:
+            self._obs.on_batch(m, len(runs), use_numpy)
         esize = self.element_size
         requests = [
             IORequest(

@@ -70,7 +70,17 @@ def summarize(sim: Simulation, tag: str | None = None) -> TraceStats:
     bytes_read = sum(r.size for r in reads)
     bytes_written = sum(r.size for r in writes)
     latencies = [r.latency for r in reqs]
-    busy = {s.model.disk_id: s.model.busy_time for s in sim.disks}
+    if tag is None:
+        # whole-run view: the disk models' own busy accounting (which
+        # also includes fail-slow inflation priced during service)
+        busy = {s.model.disk_id: s.model.busy_time for s in sim.disks}
+    else:
+        # tag-filtered view: busy time must come from the *filtered*
+        # request set, otherwise dividing the full-run busy time by the
+        # filtered makespan reports utilizations above 1.0
+        busy = {s.model.disk_id: 0.0 for s in sim.disks}
+        for r in reqs:
+            busy[r.disk] += r.service_duration
     util = {
         d: (b / makespan if makespan > 0 else 0.0) for d, b in busy.items()
     }

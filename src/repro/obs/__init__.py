@@ -1,0 +1,104 @@
+"""Unified observability: metrics registry, span tracer, exporters.
+
+The paper's argument is about *where* reconstruction I/O lands; this
+package makes that visible at any scale without perturbing the
+simulation:
+
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
+  with labels, a process-wide default registry, and a zero-overhead
+  null sink selected by ``REPRO_OBS=0``;
+* :mod:`repro.obs.tracing` — span tracer recording ``(name, ts, dur,
+  args)`` on per-disk tracks;
+* :mod:`repro.obs.export` — chrome://tracing ("Trace Event Format")
+  JSON, flat JSONL, and metrics snapshot round-trip;
+* :mod:`repro.obs.summary` — the ``repro obs summary`` pretty-printer.
+
+The global hooks — :func:`default_registry` for metrics and
+:func:`default_tracer` for spans — are what instrumented components
+consult at construction time, so ``repro simulate rebuild --trace-out
+trace.json`` needs no plumbing through intermediate layers.  See
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    chrome_trace,
+    load_metrics,
+    load_trace_jsonl,
+    registry_from_file,
+    write_chrome_trace,
+    write_metrics,
+    write_trace_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    obs_enabled,
+    scoped_registry,
+    set_obs_enabled,
+)
+from .summary import metrics_summary, summarize_files, trace_summary
+from .tracing import SpanToken, TraceEvent, TraceGroup, Tracer
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "default_registry",
+    "scoped_registry",
+    "obs_enabled",
+    "set_obs_enabled",
+    # tracing
+    "Tracer",
+    "TraceGroup",
+    "TraceEvent",
+    "SpanToken",
+    "default_tracer",
+    "set_default_tracer",
+    # export
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "load_trace_jsonl",
+    "write_metrics",
+    "load_metrics",
+    "registry_from_file",
+    # summary
+    "metrics_summary",
+    "trace_summary",
+    "summarize_files",
+]
+
+_default_tracer: Tracer | None = None
+
+
+def default_tracer() -> Tracer | None:
+    """The process default tracer, or ``None`` when tracing is off.
+
+    Simulations attach a track group to this tracer at construction
+    when no explicit tracer is passed; the CLI's ``--trace-out`` sets
+    it for the duration of one command.
+    """
+    return _default_tracer
+
+
+def set_default_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install (or clear, with ``None``) the default tracer; returns the old."""
+    global _default_tracer
+    old = _default_tracer
+    _default_tracer = tracer
+    return old

@@ -1,0 +1,157 @@
+"""Serialisation of traces and metrics snapshots.
+
+Two trace formats:
+
+* **chrome trace** — the ``chrome://tracing`` / Perfetto "Trace Event
+  Format" JSON object (``{"traceEvents": [...]}``).  Timestamps are
+  converted from simulated seconds to the format's microseconds, and
+  each named pid gets a ``process_name`` metadata record so tracks read
+  "mirror(5)x12: disk 3" instead of bare numbers.
+* **JSONL** — one flat JSON object per event, for ad-hoc ``jq``-style
+  analysis and for loading back with :func:`load_trace_jsonl`.
+
+Metrics snapshots (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`)
+are already plain data; :func:`write_metrics` / :func:`load_metrics`
+just add the file framing, and the round-trip is exact — a snapshot
+written, loaded and merged into a fresh registry reproduces every
+counter (there is a test pinning that).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import MetricsRegistry
+from .tracing import TraceEvent, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "load_trace_jsonl",
+    "write_metrics",
+    "load_metrics",
+    "registry_from_file",
+]
+
+_S_TO_US = 1e6
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The tracer's events as a Trace Event Format object (plain data)."""
+    events: list[dict] = []
+    for pid, name in sorted(tracer.process_names().items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        # sort index keeps tracks in disk order, not first-event order
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+    for ev in tracer.events:
+        rec = {
+            "name": ev.name,
+            "ph": ev.ph,
+            "ts": ev.ts * _S_TO_US,
+            "pid": ev.pid,
+            "tid": ev.tid,
+        }
+        if ev.ph == "X":
+            rec["dur"] = ev.dur * _S_TO_US
+        if ev.ph == "i":
+            rec["s"] = "t"  # instant scope: thread
+        if ev.cat:
+            rec["cat"] = ev.cat
+        if ev.args:
+            rec["args"] = ev.args
+        events.append(rec)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracer: Tracer) -> Path:
+    """Write a ``chrome://tracing``-loadable JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer)) + "\n", encoding="utf-8")
+    return path
+
+
+def write_trace_jsonl(path, tracer: Tracer) -> Path:
+    """Write one flat JSON object per event; returns the path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for ev in tracer.events:
+            fh.write(
+                json.dumps(
+                    {
+                        "name": ev.name,
+                        "ph": ev.ph,
+                        "ts": ev.ts,
+                        "dur": ev.dur,
+                        "pid": ev.pid,
+                        "tid": ev.tid,
+                        "cat": ev.cat,
+                        "args": ev.args,
+                    }
+                )
+            )
+            fh.write("\n")
+    return path
+
+
+def load_trace_jsonl(path) -> list[TraceEvent]:
+    """Load a :func:`write_trace_jsonl` file back into event records."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            events.append(
+                TraceEvent(
+                    name=rec["name"],
+                    ph=rec["ph"],
+                    ts=rec["ts"],
+                    dur=rec["dur"],
+                    pid=rec["pid"],
+                    tid=rec["tid"],
+                    cat=rec.get("cat", ""),
+                    args=rec.get("args", {}),
+                )
+            )
+    return events
+
+
+def write_metrics(path, registry_or_snapshot) -> Path:
+    """Write a registry (or a prepared snapshot) as JSON; returns the path."""
+    snap = registry_or_snapshot
+    if hasattr(snap, "snapshot"):
+        snap = snap.snapshot()
+    path = Path(path)
+    path.write_text(json.dumps(snap, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_metrics(path) -> dict:
+    """Load a :func:`write_metrics` snapshot (mergeable via ``merge``)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def registry_from_file(path) -> MetricsRegistry:
+    """Convenience: a fresh registry holding a file's snapshot."""
+    reg = MetricsRegistry()
+    reg.merge(load_metrics(path))
+    return reg

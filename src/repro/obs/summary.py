@@ -1,0 +1,127 @@
+"""Pretty-printers for exported metrics and traces (``repro obs summary``).
+
+Turns the machine-readable artifacts — a metrics snapshot JSON and/or
+a chrome-trace JSON — back into a terminal-friendly digest: counter
+totals, gauge values, histogram quantile-ish summaries, and per-track
+span accounting (how much rebuild time each spindle carried, which is
+the paper's whole argument made visible).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["metrics_summary", "trace_summary", "summarize_files"]
+
+_US_TO_S = 1e-6
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def metrics_summary(snapshot: dict) -> str:
+    """Human-readable digest of a metrics snapshot."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        for name, data in sorted(counters.items()):
+            for entry in data["values"]:
+                lines.append(
+                    f"  {name}{_label_str(entry['labels'])} = "
+                    f"{_fmt(entry['value'])}"
+                )
+    if gauges:
+        lines.append("gauges:")
+        for name, data in sorted(gauges.items()):
+            for entry in data["values"]:
+                lines.append(
+                    f"  {name}{_label_str(entry['labels'])} = "
+                    f"{_fmt(entry['value'])}"
+                )
+    if histograms:
+        lines.append("histograms:")
+        for name, data in sorted(histograms.items()):
+            for entry in data["values"]:
+                count = entry["count"]
+                mean = entry["sum"] / count if count else 0.0
+                lo = entry["min"] if entry["min"] is not None else 0.0
+                hi = entry["max"] if entry["max"] is not None else 0.0
+                lines.append(
+                    f"  {name}{_label_str(entry['labels'])}: n={count} "
+                    f"mean={mean:.6g} min={_fmt(lo)} max={_fmt(hi)}"
+                )
+    if not lines:
+        lines.append("(empty snapshot)")
+    return "\n".join(lines)
+
+
+def trace_summary(trace: dict) -> str:
+    """Per-track span accounting of a chrome-trace JSON object."""
+    events = trace.get("traceEvents", [])
+    names: dict[int, str] = {}
+    busy: dict[int, float] = {}
+    span_counts: dict[str, int] = {}
+    t_min = float("inf")
+    t_max = float("-inf")
+    n_spans = 0
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                names[ev["pid"]] = ev["args"]["name"]
+            continue
+        if ph != "X":
+            continue
+        n_spans += 1
+        pid = ev.get("pid", 0)
+        dur = ev.get("dur", 0.0) * _US_TO_S
+        ts = ev.get("ts", 0.0) * _US_TO_S
+        busy[pid] = busy.get(pid, 0.0) + dur
+        span_counts[ev["name"]] = span_counts.get(ev["name"], 0) + 1
+        t_min = min(t_min, ts)
+        t_max = max(t_max, ts + dur)
+    if n_spans == 0:
+        return "(no spans)"
+    makespan = t_max - t_min
+    lines = [f"{n_spans} spans over {makespan * 1e3:.1f} ms"]
+    lines.append("spans by name:")
+    for name, count in sorted(span_counts.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<24} {count}")
+    lines.append("busy time by track:")
+    for pid in sorted(busy):
+        label = names.get(pid, f"pid {pid}")
+        util = busy[pid] / makespan if makespan > 0 else 0.0
+        lines.append(
+            f"  {label:<32} {busy[pid] * 1e3:>9.1f} ms  ({util:5.1%})"
+        )
+    return "\n".join(lines)
+
+
+def summarize_files(metrics_path=None, trace_path=None) -> str:
+    """Digest of the given artifact files (either may be omitted)."""
+    parts: list[str] = []
+    if metrics_path is not None:
+        snap = json.loads(Path(metrics_path).read_text(encoding="utf-8"))
+        parts.append(f"== metrics: {metrics_path} ==")
+        parts.append(metrics_summary(snap))
+    if trace_path is not None:
+        trace = json.loads(Path(trace_path).read_text(encoding="utf-8"))
+        parts.append(f"== trace: {trace_path} ==")
+        parts.append(trace_summary(trace))
+    if not parts:
+        return "nothing to summarize (pass --metrics and/or --trace)"
+    return "\n".join(parts)

@@ -1,0 +1,196 @@
+"""Span tracing with chrome://tracing ("Trace Event Format") export.
+
+A :class:`Tracer` collects timestamped spans — explicit
+``complete(name, ts, dur)`` records, ``begin``/``end`` pairs for
+callback-driven code like the event loop, and a ``span(...)`` context
+manager for straight-line code.  Timestamps are *simulated seconds*
+(any monotone float works; wall-clock tracers pass their own clock).
+
+Tracks are organised the chrome-trace way: a *pid* is a track group
+(we use one pid per simulated disk, so a rebuild renders as a Gantt
+chart of spindles in Perfetto / ``chrome://tracing``) and a *tid* is a
+row inside it.  :meth:`Tracer.group` hands out non-overlapping pid
+ranges so several simulations — e.g. the traditional and the shifted
+arrangement of one campaign — coexist in a single trace without
+colliding.
+
+Export lives in :mod:`repro.obs.export`; this module only records.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "SpanToken", "Tracer", "TraceGroup"]
+
+#: pids per :meth:`Tracer.group` allocation — far more spindles than
+#: any simulated array uses
+GROUP_PID_STRIDE = 1000
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One trace record (chrome "complete" or "instant" event)."""
+
+    name: str
+    ph: str  # "X" complete, "i" instant
+    ts: float  # seconds
+    dur: float  # seconds ("X" only)
+    pid: int
+    tid: int
+    cat: str = ""
+    args: dict = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class SpanToken:
+    """Handle returned by :meth:`Tracer.begin`, closed by :meth:`Tracer.end`."""
+
+    name: str
+    ts: float
+    pid: int
+    tid: int
+    cat: str
+    args: dict
+    closed: bool = False
+
+
+class Tracer:
+    """Accumulates :class:`TraceEvent` records for one run.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable giving the current time in seconds for
+        :meth:`span`; defaults to wall clock
+        (:func:`time.perf_counter`).  Simulation code records explicit
+        timestamps instead and never consults the clock.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self.events: list[TraceEvent] = []
+        self.clock = clock if clock is not None else time.perf_counter
+        self._process_names: dict[int, str] = {}
+        self._next_pid_base = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    def group(self, label: str) -> "TraceGroup":
+        """Reserve a pid range for one track group (one simulation)."""
+        base = self._next_pid_base
+        self._next_pid_base += GROUP_PID_STRIDE
+        return TraceGroup(self, base, label)
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Human-readable track-group name shown by trace viewers."""
+        self._process_names[pid] = name
+
+    def process_names(self) -> dict[int, str]:
+        return dict(self._process_names)
+
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        pid: int = 0,
+        tid: int = 0,
+        cat: str = "",
+        **args,
+    ) -> None:
+        """Record a finished span with explicit start and duration."""
+        self.events.append(TraceEvent(name, "X", ts, dur, pid, tid, cat, args))
+
+    def instant(
+        self, name: str, ts: float, pid: int = 0, tid: int = 0, cat: str = "", **args
+    ) -> None:
+        """Record a zero-duration marker."""
+        self.events.append(TraceEvent(name, "i", ts, 0.0, pid, tid, cat, args))
+
+    def begin(
+        self, name: str, ts: float, pid: int = 0, tid: int = 0, cat: str = "", **args
+    ) -> SpanToken:
+        """Open a span whose end isn't lexically scoped (event loops)."""
+        return SpanToken(name, ts, pid, tid, cat, args)
+
+    def end(self, token: SpanToken, ts: float) -> None:
+        """Close a :meth:`begin` span at ``ts``."""
+        if token.closed:
+            raise ValueError(f"span {token.name!r} already ended")
+        token.closed = True
+        self.events.append(
+            TraceEvent(
+                token.name,
+                "X",
+                token.ts,
+                max(0.0, ts - token.ts),
+                token.pid,
+                token.tid,
+                token.cat,
+                token.args,
+            )
+        )
+
+    @contextmanager
+    def span(self, name: str, pid: int = 0, tid: int = 0, cat: str = "", **args):
+        """``with tracer.span("rebuild.phase", disk=3): ...`` — clock-timed."""
+        t0 = self.clock()
+        token = self.begin(name, t0, pid, tid, cat, **args)
+        try:
+            yield token
+        finally:
+            self.end(token, self.clock())
+
+
+class TraceGroup:
+    """A pid-offset view of a tracer: one simulation's tracks.
+
+    Every event recorded through a group lands in the group's reserved
+    pid range, so two arrays traced into the same file keep separate
+    per-disk tracks.
+    """
+
+    __slots__ = ("tracer", "base_pid", "label")
+
+    def __init__(self, tracer: Tracer, base_pid: int, label: str) -> None:
+        self.tracer = tracer
+        self.base_pid = base_pid
+        self.label = label
+
+    def name_track(self, pid: int, name: str) -> None:
+        """Name a track inside this group (e.g. ``disk 3``)."""
+        self.tracer.name_process(
+            self.base_pid + pid, f"{self.label}: {name}" if self.label else name
+        )
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        pid: int = 0,
+        tid: int = 0,
+        cat: str = "",
+        **args,
+    ) -> None:
+        self.tracer.complete(
+            name, ts, dur, self.base_pid + pid, tid, cat, **args
+        )
+
+    def instant(
+        self, name: str, ts: float, pid: int = 0, tid: int = 0, cat: str = "", **args
+    ) -> None:
+        self.tracer.instant(name, ts, self.base_pid + pid, tid, cat, **args)
+
+    def begin(
+        self, name: str, ts: float, pid: int = 0, tid: int = 0, cat: str = "", **args
+    ) -> SpanToken:
+        return self.tracer.begin(name, ts, self.base_pid + pid, tid, cat, **args)
+
+    def end(self, token: SpanToken, ts: float) -> None:
+        self.tracer.end(token, ts)

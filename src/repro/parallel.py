@@ -29,8 +29,11 @@ state), which is what makes that guarantee hold bit-for-bit; see
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from .obs import default_registry
 
 __all__ = ["resolve_jobs", "parallel_map", "WorkerPool"]
 
@@ -79,9 +82,33 @@ def parallel_map(
     work: Sequence[T] = list(items)
     n_workers = min(resolve_jobs(jobs), len(work))
     if n_workers <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
+        return _observed_map(lambda: [fn(item) for item in work], "serial", len(work))
     with ProcessPoolExecutor(max_workers=n_workers) as pool_:
-        return list(pool_.map(fn, work, chunksize=chunksize))
+        return _observed_map(
+            lambda: list(pool_.map(fn, work, chunksize=chunksize)),
+            "ephemeral",
+            len(work),
+        )
+
+
+def _observed_map(run: Callable[[], list], mode: str, n_items: int) -> list:
+    """Run one fan-out call, recording wall time and item count.
+
+    One registry lookup per *fan-out call* (never per item), and a
+    straight tail call when observability is off.
+    """
+    reg = default_registry()
+    if not reg.enabled:
+        return run()
+    t0 = time.perf_counter()
+    results = run()
+    reg.histogram(
+        "pool.map_wall_s", "wall-clock seconds per fan-out call"
+    ).labels(mode=mode).observe(time.perf_counter() - t0)
+    reg.counter("pool.items", "items mapped across fan-out calls").labels(
+        mode=mode
+    ).inc(n_items)
+    return results
 
 
 def _attach_films(specs: tuple) -> None:
@@ -119,6 +146,9 @@ class WorkerPool:
         self._films: list[tuple[int, int, str, tuple]] = []
         self._shm: list = []
         self._closed = False
+        default_registry().gauge(
+            "pool.n_workers", "size of the most recently created worker pool"
+        ).labels().set(self.n_workers)
 
     # ------------------------------------------------------------------
     def share_film(
@@ -147,6 +177,9 @@ class WorkerPool:
         if size <= 0:
             return
         shm = shared_memory.SharedMemory(create=True, size=size)
+        default_registry().counter(
+            "pool.shared_film_bytes", "bytes exported to workers via shared memory"
+        ).labels().inc(size)
         block = np.ndarray(shape, dtype=np.uint8, buffer=shm.buf)
         film_mod.build_film_block(seed, payload_bytes, n_stripes, n_i, n_j, out=block)
         film_mod.register_shared_film(seed, payload_bytes, block)
@@ -169,14 +202,19 @@ class WorkerPool:
             raise RuntimeError("WorkerPool is closed")
         work: Sequence[T] = list(items)
         if self.n_workers <= 1 or len(work) <= 1:
-            return [fn(item) for item in work]
+            return _observed_map(lambda: [fn(item) for item in work], "pooled", len(work))
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.n_workers,
                 initializer=_attach_films if self._films else None,
                 initargs=(tuple(self._films),) if self._films else (),
             )
-        return list(self._executor.map(fn, work, chunksize=chunksize))
+        executor = self._executor
+        return _observed_map(
+            lambda: list(executor.map(fn, work, chunksize=chunksize)),
+            "pooled",
+            len(work),
+        )
 
     # ------------------------------------------------------------------
     def close(self) -> None:

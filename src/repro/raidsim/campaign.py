@@ -18,7 +18,9 @@ is a reproducible experiment, not an anecdote.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import pickle
+import time
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -28,6 +30,7 @@ from ..core.registry import LAYOUTS, shifted_variant_name
 from ..disksim.array import DEFAULT_ELEMENT_SIZE
 from ..disksim.faultplan import FaultPlan
 from ..disksim.scheduler import PriorityScheduler
+from ..obs import default_registry, scoped_registry
 from ..parallel import parallel_map
 from ..workloads.generator import user_read_stream
 from .controller import FaultStats, RaidController, RebuildResult, RetryPolicy
@@ -117,6 +120,8 @@ def clean_rebuild_makespan(
         n_stripes=n_stripes,
         element_size=element_size,
         payload_bytes=payload_bytes,
+        # the sizing dry-run must not leak into a --trace-out trace
+        tracer=False,
     )
     return ctrl.rebuild(failed_disks, window=window, verify=False).makespan_s
 
@@ -274,12 +279,24 @@ def derive_sweep_seeds(
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One seeded comparison inside a sweep."""
+    """One seeded comparison inside a sweep.
+
+    The observability payloads (``metrics``, ``wall_s``) are excluded
+    from equality: point identity is the seeded simulation outcome, and
+    the jobs=1 vs jobs=N bit-identity regression test must keep holding
+    with observability on even though worker wall times differ.
+    """
 
     seed_index: int
     fault_seed: int
     user_read_seed: int
     comparison: CampaignComparison
+    #: the worker's metrics snapshot for this point (see
+    #: :meth:`repro.obs.MetricsRegistry.snapshot`); empty when
+    #: observability is disabled
+    metrics: dict = field(default_factory=dict, compare=False)
+    #: worker-side wall-clock seconds spent on this point
+    wall_s: float = field(default=0.0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -339,18 +356,26 @@ def _sweep_point(task) -> SweepPoint:
     plan = default_fault_plan(
         traditional(n).n_disks, seed=fault_seed, **plan_kwargs
     )
-    comparison = compare_arrangements(
-        lambda: traditional(n),
-        lambda: shifted(n),
-        plan,
-        user_read_seed=user_seed,
-        **campaign_kwargs,
-    )
+    # each point runs under its own metrics scope so its snapshot can
+    # be shipped back (pickled, across the process boundary) and merged
+    # by the parent in deterministic seed order
+    t0 = time.perf_counter()
+    with scoped_registry() as reg:
+        comparison = compare_arrangements(
+            lambda: traditional(n),
+            lambda: shifted(n),
+            plan,
+            user_read_seed=user_seed,
+            **campaign_kwargs,
+        )
+        snap = reg.snapshot()
     return SweepPoint(
         seed_index=index,
         fault_seed=fault_seed,
         user_read_seed=user_seed,
         comparison=comparison,
+        metrics=snap,
+        wall_s=time.perf_counter() - t0,
     )
 
 
@@ -397,6 +422,23 @@ def compare_sweep(
         for index, (fault_seed, user_seed) in enumerate(seeds)
     ]
     points = parallel_map(_sweep_point, tasks, jobs=jobs, pool=pool)
+    reg = default_registry()
+    if reg.enabled:
+        # fold worker snapshots back in seed order — merge is
+        # commutative for counters/histograms but seed order keeps
+        # gauges (last write wins) deterministic across jobs settings
+        wall = reg.histogram(
+            "sweep.point_wall_s", "worker wall-clock seconds per sweep point"
+        ).labels()
+        size = reg.histogram(
+            "sweep.point_pickle_bytes",
+            "pickled result size per sweep point (pool return traffic)",
+            buckets=(1e3, 1e4, 1e5, 1e6, 1e7),
+        ).labels()
+        for p in points:
+            reg.merge(p.metrics)
+            wall.observe(p.wall_s)
+            size.observe(len(pickle.dumps(p)))
     return SweepResult(
         family=family, n=n, root_seed=root_seed, points=tuple(points)
     )

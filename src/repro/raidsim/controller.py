@@ -47,6 +47,8 @@ from ..core.reconstruction import (
 )
 from ..core.stack import RotatedStack
 from ..disksim.array import DEFAULT_ELEMENT_SIZE, ElementArray
+from ..obs import default_registry, default_tracer
+from ..obs.tracing import Tracer
 from ..disksim.disk import DiskParameters
 from ..disksim.faultplan import ActiveFaults, FaultPlan
 from ..disksim.faults import LatentSectorErrors
@@ -178,6 +180,84 @@ class WriteResult:
     bytes_written: int
 
 
+class _CtrlObs:
+    """Controller-level instruments and the rebuild-phase span track.
+
+    Counters are registered against the process default registry at
+    controller construction, so they are null instruments (free no-op
+    calls) when observability is off; the trace ``group`` is ``None``
+    unless a tracer is attached, and phase spans check it explicitly.
+    """
+
+    __slots__ = (
+        "group",
+        "ctrl_track",
+        "retries",
+        "timeouts",
+        "backoff_s",
+        "rerouted",
+        "slow_accepted",
+        "abandoned",
+        "decodes",
+        "spare_writes",
+        "phases",
+        "plan_spans",
+    )
+
+    def __init__(self, group, ctrl_track: int) -> None:
+        reg = default_registry()
+        self.group = group
+        #: pid of the controller's own track — one past the disks, so
+        #: phase spans render above the per-disk I/O Gantt rows
+        self.ctrl_track = ctrl_track
+        self.retries = reg.counter(
+            "rebuild.retries", "reads resubmitted under the retry policy"
+        ).labels()
+        self.timeouts = reg.counter(
+            "rebuild.timeouts", "reads exceeding the retry policy's timeout"
+        ).labels()
+        self.backoff_s = reg.counter(
+            "rebuild.backoff_s", "simulated seconds spent in retry backoff"
+        ).labels()
+        self.rerouted = reg.counter(
+            "rebuild.rerouted_reads", "source reads re-routed around unreadable elements"
+        ).labels()
+        self.slow_accepted = reg.counter(
+            "rebuild.slow_reads_accepted", "late reads accepted after timeout retries ran out"
+        ).labels()
+        self.abandoned = reg.counter(
+            "rebuild.abandoned_requests", "retryable reads abandoned after max attempts"
+        ).labels()
+        self.decodes = reg.counter(
+            "rebuild.decodes", "stripe decodes executed by CODE recovery steps"
+        ).labels()
+        self.spare_writes = reg.counter(
+            "rebuild.spare_writes", "recovered columns written out to hot spares"
+        ).labels()
+        self.phases = reg.counter(
+            "rebuild.phases", "rebuild phase barriers executed"
+        ).labels()
+        self.plan_spans = reg.histogram(
+            "rebuild.phase_wall_s", "simulated wall time of each rebuild phase"
+        ).labels()
+
+    def phase_span(self, t0: float, t1: float, phase_idx: int, fset, n_stripes: int) -> None:
+        """One ``rebuild.phase`` complete event on the controller track."""
+        self.phases.inc()
+        self.plan_spans.observe(t1 - t0)
+        if self.group is not None and t1 > t0:
+            self.group.complete(
+                "rebuild.phase",
+                t0,
+                t1 - t0,
+                pid=self.ctrl_track,
+                cat="rebuild",
+                phase=phase_idx,
+                failed=list(fset),
+                stripes=n_stripes,
+            )
+
+
 class _RetryBatch:
     """Retry/backoff bookkeeping for one batch of element reads.
 
@@ -204,6 +284,7 @@ class _RetryBatch:
         ctrl = self.controller
         policy = ctrl.retry_policy
         stats = ctrl.fault_stats
+        obs = ctrl._obs
         self.outstanding -= 1
         timed_out = (
             policy is not None
@@ -213,11 +294,14 @@ class _RetryBatch:
         )
         if timed_out:
             stats.timeouts += 1
+            obs.timeouts.inc()
         retryable = (req.error and req.error_kind == "transient") or timed_out
         if policy is not None and retryable and req.attempt + 1 < policy.max_attempts:
             delay = policy.backoff_s(req.attempt)
             stats.retries += 1
             stats.backoff_time_s += delay
+            obs.retries.inc()
+            obs.backoff_s.inc(delay)
             retry = IORequest(
                 disk=req.disk,
                 offset=req.offset,
@@ -233,9 +317,11 @@ class _RetryBatch:
         if req.error:
             if retryable:  # out of attempts on a retryable error
                 stats.abandoned_requests += 1
+                obs.abandoned.inc()
             self.failed.append(req)
         elif timed_out:
             stats.slow_reads_accepted += 1
+            obs.slow_accepted.inc()
         if self.primed and self.outstanding == 0:
             self.on_settled(self.failed)
 
@@ -275,6 +361,12 @@ class RaidController:
         :class:`~repro.core.plancache.PlanCache`).  On by default;
         ``False`` re-derives every stripe's plan, which only the
         perf-regression harness wants.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer` (a fresh track
+        group labelled with the layout's name is reserved on it) or an
+        already-labelled :class:`~repro.obs.tracing.TraceGroup`.  With
+        neither, the process default tracer applies; ``False`` opts
+        this controller out of tracing entirely (yardstick runs).
     """
 
     def __init__(
@@ -292,6 +384,7 @@ class RaidController:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         plan_cache: bool = True,
+        tracer=None,
     ) -> None:
         self.layout = layout
         self.plan_cache = PlanCache(layout, enabled=plan_cache)
@@ -314,13 +407,30 @@ class RaidController:
                 f"LSE model element size {lse.element_size} disagrees with "
                 f"array element size {element_size}"
             )
+        # resolve the trace sink once: an explicit Tracer gets a track
+        # group labelled with the layout's name (so two arrangements in
+        # one campaign render side by side), a TraceGroup is used
+        # as-is, ``False`` opts out even when a default tracer is set
+        if tracer is False:
+            trace = None
+        elif tracer is not None:
+            trace = tracer
+        else:
+            trace = default_tracer()
+        group = trace.group(layout.name) if isinstance(trace, Tracer) else trace
         self.array = ElementArray(
             layout.n_disks + spares,
             element_size,
             params,
             scheduler_factory,
             faults=self.active_faults if self.active_faults is not None else lse,
+            tracer=group if group is not None else False,
         )
+        if group is not None:
+            group.name_track(layout.n_disks + spares, "rebuild controller")
+        #: controller instruments — null no-ops when observability is
+        #: off, so call sites need no branches
+        self._obs = _CtrlObs(group, layout.n_disks + spares)
         if retry_policy is None and fault_plan is not None:
             retry_policy = RetryPolicy()
         self.retry_policy = retry_policy
@@ -797,6 +907,7 @@ class RaidController:
                         self.array.submit_elements(
                             writes, IOKind.WRITE, tag="rebuild-write"
                         )
+                        self._obs.spare_writes.inc()
                     next_stripe()
 
                 def on_settled(failed_reqs: list[IORequest]) -> None:
@@ -840,6 +951,7 @@ class RaidController:
                         next_stripe()
                         return
                     stats.rerouted_reads += len(bad)
+                    self._obs.rerouted.inc(len(bad))
                     extra_phys = sorted(
                         {
                             self.place(stripe, c)
@@ -873,11 +985,14 @@ class RaidController:
                 else:
                     submit()
 
+            n_phase_stripes = len(pending)
+            t0 = self.array.now
             seeded = 0
             while pending and seeded < window:
                 start_stripe(pending.pop(0))
                 seeded += 1
             self.array.run()  # phase barrier
+            self._obs.phase_span(t0, self.array.now, phase_idx, fset, n_phase_stripes)
         return max_accesses
 
     # ------------------------------------------------------------------
@@ -1009,6 +1124,7 @@ class RaidController:
                     else:
                         self._decode_raid6_stripe(stripe, plan.failed_disks)
                     self._decoded.add(key)
+                    self._obs.decodes.inc()
             else:  # pragma: no cover - defensive
                 raise AssertionError(f"unknown recovery method {step.method}")
 

@@ -61,6 +61,25 @@ def test_utilization_bounded_and_busy_disk_fully_utilized():
     assert s.per_disk_utilization[1] == 0.0
 
 
+def test_tag_filtered_utilization_stays_bounded():
+    # regression: the tag-filtered view used to divide the *full-run*
+    # busy time by the filtered makespan, so a short tagged prefix of a
+    # long run reported utilizations far above 1.0
+    arr = ElementArray(1, 4 * _MB, DiskParameters.ideal())
+    arr.submit_elements([(0, 0)], IOKind.READ, tag="early")
+    arr.run()
+    arr.submit_elements([(0, 2 * k) for k in range(1, 9)], IOKind.READ, tag="late")
+    arr.run()
+    s = summarize(arr.sim, tag="early")
+    assert s.per_disk_busy_s[0] <= s.makespan_s
+    assert s.per_disk_utilization[0] <= 1.0
+    # the filtered busy time is exactly the tagged request's service time
+    early = [r for r in arr.sim.completed if r.tag == "early"]
+    assert s.per_disk_busy_s[0] == pytest.approx(
+        sum(r.service_duration for r in early)
+    )
+
+
 def test_latency_statistics():
     arr = ElementArray(1, 4 * _MB, DiskParameters.ideal())
     arr.submit_elements([(0, 0), (0, 2)], IOKind.READ)  # second queues

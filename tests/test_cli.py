@@ -142,6 +142,65 @@ def test_faultcampaign_without_second_failure(capsys):
     assert "mid-rebuild failures" not in out
 
 
+def test_faultcampaign_json_output(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "campaign.json"
+    rc, _ = run_cli(capsys, "faultcampaign", "--family", "mirror",
+                    "--n", "3", "--stripes", "4", "--json", str(out_path))
+    assert rc == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["kind"] == "faultcampaign"
+    assert doc["family"] == "mirror" and doc["n"] == 3
+    for side in ("traditional", "shifted"):
+        record = doc[side]
+        assert 0.0 <= record["availability"] <= 1.0
+        assert record["rebuild"]["makespan_s"] > 0
+        assert {"retries", "timeouts"} <= set(record["fault_stats"])
+    assert isinstance(doc["availability_delta"], float)
+    assert "counters" in doc["metrics"]
+
+
+def test_simulate_rebuild_trace_and_metrics_out(capsys, tmp_path):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    rc, _ = run_cli(capsys, "simulate", "rebuild", "--layout", "shifted-mirror",
+                    "--n", "3", "--failed", "0", "--stripes", "4",
+                    "--trace-out", str(trace_path),
+                    "--metrics-out", str(metrics_path))
+    assert rc == 0
+    trace = json.loads(trace_path.read_text())
+    spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+    assert spans and any(
+        e.get("args", {}).get("tag") == "rebuild" for e in spans
+    )
+    named = [e for e in trace["traceEvents"]
+             if e.get("ph") == "M" and e["name"] == "process_name"]
+    assert any("disk" in e["args"]["name"] for e in named)
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"]["sim.requests"]["values"]
+
+
+def test_obs_summary_command(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    rc, _ = run_cli(capsys, "simulate", "rebuild", "--layout", "mirror",
+                    "--n", "3", "--failed", "0", "--stripes", "4",
+                    "--trace-out", str(trace_path),
+                    "--metrics-out", str(metrics_path))
+    assert rc == 0
+    rc, out = run_cli(capsys, "obs", "summary", "--metrics", str(metrics_path),
+                      "--trace", str(trace_path))
+    assert rc == 0
+    assert "counters:" in out
+    assert "busy time by track:" in out
+    rc, out = run_cli(capsys, "obs", "summary")
+    assert rc == 0
+    assert "nothing to summarize" in out
+
+
 def test_domain_error_is_reported_not_raised(capsys):
     # a LayoutError inside a subcommand must become exit code 2 with a
     # one-line message on stderr, never a traceback
