@@ -21,11 +21,12 @@ Kernels:
 * ``campaign_parallel``   — the same sweep fanned over every core
 * ``campaign_pooled``     — the same sweep on a persistent ``WorkerPool``
                             with a shared-memory film block
-* ``obs_overhead``        — the engine kernel under three observability
+* ``obs_overhead``        — the engine kernel under four observability
                             configurations: a hook-free engine subclass
                             (``bare``), the real engine with the null
-                            sink (``REPRO_OBS=0``), and fully
-                            instrumented
+                            sink (``REPRO_OBS=0``), fully instrumented,
+                            and instrumented with a streaming JSONL
+                            trace sink draining to disk
 
 Derived ratios land in the record too: ``plan_cache_speedup``
 (nocache / cached), ``parallel_speedup`` (serial / parallel),
@@ -201,29 +202,38 @@ class _BareSimulation(Simulation):
 
 
 def kernel_obs_overhead(n_requests: int, repeats: int) -> dict:
-    """Engine kernel under bare / null-sink / instrumented configs.
+    """Engine kernel under bare / null-sink / instrumented / streaming.
 
-    Returns best-of-``repeats`` seconds per config plus the two
-    slowdown ratios.  The null-sink ratio is the observability
-    contract: components constructed under ``REPRO_OBS=0`` must cost
-    within 2% of an engine that never heard of metrics.
+    Returns best-of-``repeats`` seconds per config plus the slowdown
+    ratios.  The null-sink ratio is the observability contract:
+    components constructed under ``REPRO_OBS=0`` must cost within 2%
+    of an engine that never heard of metrics — and that must keep
+    holding with the streaming machinery merged in but idle (no sink
+    attached is the null path; there is nothing extra to disable).
+    The ``streaming`` config prices the opposite end: fully
+    instrumented with a JSONL sink draining the span buffer to disk —
+    informational, not gated.
     """
+    import tempfile
+
     import numpy as np
 
-    from repro.obs import set_obs_enabled
+    from repro.obs import JsonlTraceSink, Tracer, set_default_tracer, set_obs_enabled
 
     element = 4 * 1024 * 1024
     rng = np.random.default_rng(0)
     disks = [int(d) for d in rng.integers(0, 8, size=n_requests)]
     offsets = [int(o) * element for o in rng.integers(0, 512, size=n_requests)]
 
-    def drive(sim_cls, enabled: bool) -> float:
+    def drive(sim_cls, enabled: bool, tracer=None) -> float:
         from repro.disksim.request import IORequest
 
         old = set_obs_enabled(enabled)
+        old_tracer = set_default_tracer(tracer)
         try:
             sim = sim_cls(8, DiskParameters.savvio_10k3(), ElevatorScheduler)
         finally:
+            set_default_tracer(old_tracer)
             set_obs_enabled(old)
 
         def go() -> None:
@@ -231,26 +241,43 @@ def kernel_obs_overhead(n_requests: int, repeats: int) -> dict:
                 sim.submit(IORequest(disk=d, offset=off, size=element, kind=IOKind.READ))
             sim.run()
 
-        return _time(go)
+        elapsed = _time(go)
+        if tracer is not None:
+            tracer.close()
+        return elapsed
 
-    # interleave the three configs within each round: sequential blocks
-    # bias the comparison (warm-up and CPU frequency drift land entirely
-    # on whichever config runs first), which at a 2% threshold drowns
-    # the signal being gated
-    bare, null, instrumented = [], [], []
+    def drive_streaming() -> float:
+        with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as tmp:
+            path = Path(tmp.name)
+        try:
+            return drive(
+                Simulation, enabled=True, tracer=Tracer(sink=JsonlTraceSink(path))
+            )
+        finally:
+            path.unlink(missing_ok=True)
+
+    # interleave the configs within each round: sequential blocks bias
+    # the comparison (warm-up and CPU frequency drift land entirely on
+    # whichever config runs first), which at a 2% threshold drowns the
+    # signal being gated
+    bare, null, instrumented, streaming = [], [], [], []
     for _ in range(repeats):
         bare.append(drive(_BareSimulation, enabled=False))
         null.append(drive(Simulation, enabled=False))
         instrumented.append(drive(Simulation, enabled=True))
+        streaming.append(drive_streaming())
     bare_s = min(bare)
     null_s = min(null)
     instrumented_s = min(instrumented)
+    streaming_s = min(streaming)
     return {
         "bare_s": bare_s,
         "null_s": null_s,
         "instrumented_s": instrumented_s,
+        "streaming_s": streaming_s,
         "null_overhead": null_s / max(bare_s, 1e-9) - 1.0,
         "instrumented_overhead": instrumented_s / max(bare_s, 1e-9) - 1.0,
+        "streaming_overhead": streaming_s / max(bare_s, 1e-9) - 1.0,
     }
 
 
@@ -307,14 +334,18 @@ def run_suite(tiny: bool, repeats: int) -> dict:
     kernels["engine_bare"] = obs["bare_s"]
     kernels["engine_nullsink"] = obs["null_s"]
     kernels["engine_instrumented"] = obs["instrumented_s"]
+    kernels["engine_streaming"] = obs["streaming_s"]
     print(f"  obs_overhead      bare {obs['bare_s']:.3f} s, "
           f"null {obs['null_s']:.3f} s ({obs['null_overhead']:+.1%}), "
           f"instrumented {obs['instrumented_s']:.3f} s "
-          f"({obs['instrumented_overhead']:+.1%})")
+          f"({obs['instrumented_overhead']:+.1%}), "
+          f"streaming {obs['streaming_s']:.3f} s "
+          f"({obs['streaming_overhead']:+.1%})")
 
     derived = {
         "obs_null_overhead": obs["null_overhead"],
         "obs_instrumented_overhead": obs["instrumented_overhead"],
+        "obs_streaming_overhead": obs["streaming_overhead"],
         "plan_cache_speedup": kernels["rebuild_nocache"]
         / max(kernels["rebuild_cached"], 1e-9),
         "parallel_speedup": kernels["campaign_serial"]
@@ -372,6 +403,8 @@ def main(argv=None) -> int:
         print(f"  null sink     {obs['null_s']:.4f} s  ({obs['null_overhead']:+.2%})")
         print(f"  instrumented  {obs['instrumented_s']:.4f} s  "
               f"({obs['instrumented_overhead']:+.2%})")
+        print(f"  streaming     {obs['streaming_s']:.4f} s  "
+              f"({obs['streaming_overhead']:+.2%})")
         if obs["null_overhead"] > args.obs_tolerance:
             print(f"FAIL: null-sink overhead {obs['null_overhead']:.2%} exceeds "
                   f"{args.obs_tolerance:.0%}", file=sys.stderr)

@@ -415,16 +415,31 @@ def cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
-    """``--trace-out`` / ``--metrics-out`` for simulation-running commands."""
+    """Observability flags for simulation-running commands."""
     p.add_argument(
-        "--trace-out", metavar="FILE.json", default=None,
+        "--trace-out", metavar="FILE", default=None,
         help="write a chrome://tracing / Perfetto trace of every "
-             "simulated I/O (one track per disk) to FILE.json",
+             "simulated I/O (one track per disk); a .jsonl suffix "
+             "selects the incremental streaming writer (bounded "
+             "memory, flushed per rebuild phase — see REPRO_OBS_BUFFER)",
+    )
+    p.add_argument(
+        "--trace-sample", metavar="RATE", type=float, default=None,
+        help="keep this fraction of per-request spans in the trace "
+             "(controller/phase spans are always kept; the rate lands "
+             "in the trace header); default REPRO_OBS_SAMPLE or 1.0",
     )
     p.add_argument(
         "--metrics-out", metavar="FILE.json", default=None,
         help="write the command's metrics snapshot (counters, gauges, "
              "histograms) to FILE.json; implies observability on",
+    )
+    p.add_argument(
+        "--metrics-port", metavar="PORT", type=int, default=None,
+        help="serve the live metrics registry in Prometheus text "
+             "format on http://127.0.0.1:PORT/metrics for the "
+             "duration of the command (0 picks a free port); "
+             "implies observability on",
     )
 
 
@@ -551,8 +566,10 @@ def _parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--metrics", metavar="FILE.json", default=None,
                     help="metrics snapshot written by --metrics-out")
-    ps.add_argument("--trace", metavar="FILE.json", default=None,
-                    help="chrome trace written by --trace-out")
+    ps.add_argument("--trace", metavar="FILE", default=None,
+                    help="trace written by --trace-out (chrome JSON or "
+                         "streaming .jsonl; torn streaming files are "
+                         "recovered up to the last complete record)")
     ps.set_defaults(func=cmd_obs)
 
     return parser
@@ -579,14 +596,24 @@ def _run_with_obs(args: argparse.Namespace) -> int:
 
     ``--trace-out`` installs a process default tracer for the duration
     of the command (every simulation constructed inside picks it up
-    with zero plumbing); ``--metrics-out`` forces observability on and
-    scopes a fresh registry so the snapshot holds exactly this
-    command's instruments.  Both files are written only after the
-    command ran to completion.
+    with zero plumbing).  A ``.jsonl`` suffix selects the *streaming*
+    writer: events drain to disk incrementally (bounded buffer, flush
+    per rebuild phase / sweep point) instead of accumulating, so trace
+    memory no longer scales with campaign length.  ``--trace-sample``
+    (or ``REPRO_OBS_SAMPLE``) thins per-request spans, with the rate
+    recorded in the trace header.
+
+    ``--metrics-out`` forces observability on and scopes a fresh
+    registry so the snapshot holds exactly this command's instruments;
+    the file is written only after the command ran to completion.
+    ``--metrics-port`` additionally serves the live registry as a
+    Prometheus text exposition for the duration of the command, so a
+    long sweep can be watched mid-flight with ``curl``.
     """
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if trace_out is None and metrics_out is None:
+    metrics_port = getattr(args, "metrics_port", None)
+    if trace_out is None and metrics_out is None and metrics_port is None:
         return _dispatch(args)
 
     from contextlib import ExitStack
@@ -595,19 +622,48 @@ def _run_with_obs(args: argparse.Namespace) -> int:
 
     with ExitStack() as stack:
         tracer = None
+        streaming = False
         if trace_out is not None:
-            tracer = obs.Tracer()
+            sample = obs.resolve_sample_rate(getattr(args, "trace_sample", None))
+            streaming = str(trace_out).endswith(".jsonl")
+            sink = obs.JsonlTraceSink(trace_out) if streaming else None
+            tracer = obs.Tracer(sink=sink, sample=sample)
             old_tracer = obs.set_default_tracer(tracer)
             stack.callback(obs.set_default_tracer, old_tracer)
+            # the final flush must run even when the command raises —
+            # a partial streamed trace is exactly what a post-mortem
+            # wants to read
+            stack.callback(tracer.close)
         reg = None
-        if metrics_out is not None:
+        if metrics_out is not None or metrics_port is not None:
             old_enabled = obs.set_obs_enabled(True)
             stack.callback(obs.set_obs_enabled, old_enabled)
+        if metrics_out is not None:
             reg = stack.enter_context(obs.scoped_registry())
+        if metrics_port is not None:
+            # pin the registry visible *now* (the scoped one when
+            # --metrics-out is also given, the process default
+            # otherwise): sweep points swap in their own scoped
+            # registries while they run, and a scrape that followed
+            # the swap would miss the outer registry the sweep merges
+            # completed points into
+            live_registry = obs.default_registry()
+            server = obs.MetricsServer(
+                port=metrics_port, registry_provider=lambda: live_registry
+            )
+            stack.callback(server.close)
+            server.start()
+            print(f"serving live metrics on {server.url}/metrics",
+                  file=sys.stderr)
         rc = _dispatch(args)
         if tracer is not None:
-            path = obs.write_chrome_trace(trace_out, tracer)
-            print(f"trace written to {path}", file=sys.stderr)
+            if streaming:
+                tracer.close()
+                print(f"streaming trace written to {trace_out} "
+                      f"({tracer.sink.events_written} spans)", file=sys.stderr)
+            else:
+                path = obs.write_chrome_trace(trace_out, tracer)
+                print(f"trace written to {path}", file=sys.stderr)
         if reg is not None:
             path = obs.write_metrics(metrics_out, reg)
             print(f"metrics written to {path}", file=sys.stderr)

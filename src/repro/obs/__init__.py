@@ -10,7 +10,10 @@ simulation:
 * :mod:`repro.obs.tracing` — span tracer recording ``(name, ts, dur,
   args)`` on per-disk tracks;
 * :mod:`repro.obs.export` — chrome://tracing ("Trace Event Format")
-  JSON, flat JSONL, and metrics snapshot round-trip;
+  JSON, the incremental streaming JSONL sink, flat JSONL, and metrics
+  snapshot round-trip;
+* :mod:`repro.obs.http` — live Prometheus text exposition
+  (``--metrics-port``) over a stdlib HTTP server;
 * :mod:`repro.obs.summary` — the ``repro obs summary`` pretty-printer.
 
 The global hooks — :func:`default_registry` for metrics and
@@ -23,14 +26,18 @@ trace.json`` needs no plumbing through intermediate layers.  See
 from __future__ import annotations
 
 from .export import (
+    JsonlTraceSink,
+    StreamedTrace,
     chrome_trace,
     load_metrics,
+    load_streaming_trace,
     load_trace_jsonl,
     registry_from_file,
     write_chrome_trace,
     write_metrics,
     write_trace_jsonl,
 )
+from .http import MetricsServer, prometheus_text
 from .metrics import (
     DEFAULT_BUCKETS,
     NULL_INSTRUMENT,
@@ -46,7 +53,15 @@ from .metrics import (
     set_obs_enabled,
 )
 from .summary import metrics_summary, summarize_files, trace_summary
-from .tracing import SpanToken, TraceEvent, TraceGroup, Tracer
+from .tracing import (
+    DEFAULT_BUFFER_WATERMARK,
+    SAMPLED_CATS,
+    SpanToken,
+    TraceEvent,
+    TraceGroup,
+    Tracer,
+    resolve_sample_rate,
+)
 
 __all__ = [
     # metrics
@@ -67,6 +82,9 @@ __all__ = [
     "TraceGroup",
     "TraceEvent",
     "SpanToken",
+    "SAMPLED_CATS",
+    "DEFAULT_BUFFER_WATERMARK",
+    "resolve_sample_rate",
     "default_tracer",
     "set_default_tracer",
     # export
@@ -74,9 +92,15 @@ __all__ = [
     "write_chrome_trace",
     "write_trace_jsonl",
     "load_trace_jsonl",
+    "JsonlTraceSink",
+    "StreamedTrace",
+    "load_streaming_trace",
     "write_metrics",
     "load_metrics",
     "registry_from_file",
+    # http
+    "MetricsServer",
+    "prometheus_text",
     # summary
     "metrics_summary",
     "trace_summary",

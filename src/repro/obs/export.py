@@ -1,14 +1,25 @@
 """Serialisation of traces and metrics snapshots.
 
-Two trace formats:
+Three trace formats:
 
 * **chrome trace** — the ``chrome://tracing`` / Perfetto "Trace Event
   Format" JSON object (``{"traceEvents": [...]}``).  Timestamps are
   converted from simulated seconds to the format's microseconds, and
   each named pid gets a ``process_name`` metadata record so tracks read
-  "mirror(5)x12: disk 3" instead of bare numbers.
-* **JSONL** — one flat JSON object per event, for ad-hoc ``jq``-style
-  analysis and for loading back with :func:`load_trace_jsonl`.
+  "mirror(5)x12: disk 3" instead of bare numbers.  End-of-run export
+  of a buffered tracer.
+* **streaming JSONL** (:class:`JsonlTraceSink`) — one chrome-format
+  record per line, written incrementally as the tracer's bounded
+  buffer drains.  The file opens with ``[`` and every record carries a
+  trailing comma, which is exactly the tolerant "JSON Array Format"
+  trace viewers accept (missing ``]`` and trailing commas are fine),
+  so a stream interrupted at any instant — even mid-line — still loads
+  in ``chrome://tracing``/Perfetto and still parses with
+  :func:`load_streaming_trace`, which recovers every complete record
+  before the cut.
+* **flat JSONL** (:func:`write_trace_jsonl`) — one flat JSON object
+  per event in plain seconds, for ad-hoc ``jq``-style analysis and for
+  loading back with :func:`load_trace_jsonl`.
 
 Metrics snapshots (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`)
 are already plain data; :func:`write_metrics` / :func:`load_metrics`
@@ -20,6 +31,7 @@ counter (there is a test pinning that).
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from .metrics import MetricsRegistry
@@ -30,6 +42,9 @@ __all__ = [
     "write_chrome_trace",
     "write_trace_jsonl",
     "load_trace_jsonl",
+    "JsonlTraceSink",
+    "StreamedTrace",
+    "load_streaming_trace",
     "write_metrics",
     "load_metrics",
     "registry_from_file",
@@ -38,11 +53,34 @@ __all__ = [
 _S_TO_US = 1e6
 
 
-def chrome_trace(tracer: Tracer) -> dict:
-    """The tracer's events as a Trace Event Format object (plain data)."""
-    events: list[dict] = []
-    for pid, name in sorted(tracer.process_names().items()):
-        events.append(
+def _chrome_record(ev: TraceEvent) -> dict:
+    """One event as a Trace Event Format record (µs timestamps)."""
+    rec = {
+        "name": ev.name,
+        "ph": ev.ph,
+        "ts": ev.ts * _S_TO_US,
+        "pid": ev.pid,
+        "tid": ev.tid,
+    }
+    if ev.ph == "X":
+        rec["dur"] = ev.dur * _S_TO_US
+    if ev.ph == "i":
+        rec["s"] = "t"  # instant scope: thread
+    if ev.cat:
+        rec["cat"] = ev.cat
+    if ev.args:
+        rec["args"] = ev.args
+    return rec
+
+
+def _name_records(names: dict[int, str]) -> list[dict]:
+    """``process_name`` + ``process_sort_index`` metadata for named pids.
+
+    The sort index keeps tracks in disk order, not first-event order.
+    """
+    records: list[dict] = []
+    for pid, name in sorted(names.items()):
+        records.append(
             {
                 "name": "process_name",
                 "ph": "M",
@@ -51,8 +89,7 @@ def chrome_trace(tracer: Tracer) -> dict:
                 "args": {"name": name},
             }
         )
-        # sort index keeps tracks in disk order, not first-event order
-        events.append(
+        records.append(
             {
                 "name": "process_sort_index",
                 "ph": "M",
@@ -61,24 +98,25 @@ def chrome_trace(tracer: Tracer) -> dict:
                 "args": {"sort_index": pid},
             }
         )
-    for ev in tracer.events:
-        rec = {
-            "name": ev.name,
-            "ph": ev.ph,
-            "ts": ev.ts * _S_TO_US,
-            "pid": ev.pid,
-            "tid": ev.tid,
-        }
-        if ev.ph == "X":
-            rec["dur"] = ev.dur * _S_TO_US
-        if ev.ph == "i":
-            rec["s"] = "t"  # instant scope: thread
-        if ev.cat:
-            rec["cat"] = ev.cat
-        if ev.args:
-            rec["args"] = ev.args
-        events.append(rec)
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return records
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The tracer's events as a Trace Event Format object (plain data).
+
+    The top-level ``metadata`` carries the tracer's sampling header
+    (rate, sampled categories, drop count), so a downsampled export
+    declares itself instead of passing for a quiet run.
+    """
+    events = _name_records(tracer.process_names())
+    events.extend(_chrome_record(ev) for ev in tracer.events)
+    metadata = dict(tracer.header_meta())
+    metadata["dropped_events"] = tracer.dropped_events
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": metadata,
+    }
 
 
 def write_chrome_trace(path, tracer: Tracer) -> Path:
@@ -133,6 +171,125 @@ def load_trace_jsonl(path) -> list[TraceEvent]:
                 )
             )
     return events
+
+
+# ----------------------------------------------------------------------
+# streaming sink: incremental, bounded-memory, viewer-loadable
+# ----------------------------------------------------------------------
+
+
+class JsonlTraceSink:
+    """Incremental line-per-record trace writer (chrome-loadable).
+
+    Owns the file only; *when* to write is the tracer's business
+    (watermark, phase boundary, close — see
+    :class:`repro.obs.tracing.Tracer`).  The first flush lands a
+    ``trace_header`` metadata record carrying the sampling rate and
+    buffer watermark; track names stream in as simulations register
+    them.  Bytes hit the OS on every :meth:`flush`, so a reader (or a
+    crashed run's post-mortem) sees every completed flush.
+
+    ``close`` is idempotent and counts as a final flush.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._fh.write("[\n")
+        #: event records written (excludes header/name metadata)
+        self.events_written = 0
+        self.closed = False
+
+    def _write_record(self, rec: dict) -> None:
+        self._fh.write(json.dumps(rec))
+        self._fh.write(",\n")
+
+    def write_header(self, meta: dict) -> None:
+        """The stream's first record: format + sampling provenance."""
+        self._write_record(
+            {"name": "trace_header", "ph": "M", "pid": 0, "tid": 0, "args": meta}
+        )
+
+    def write_process_names(self, names: dict[int, str]) -> None:
+        for rec in _name_records(names):
+            self._write_record(rec)
+
+    def write_events(self, events) -> None:
+        for ev in events:
+            self._write_record(_chrome_record(ev))
+            self.events_written += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._fh.flush()
+        self._fh.close()
+
+
+@dataclass
+class StreamedTrace:
+    """A parsed :class:`JsonlTraceSink` file: header, names, events."""
+
+    header: dict = field(default_factory=dict)
+    process_names: dict[int, str] = field(default_factory=dict)
+    events: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def sample_rate(self) -> float:
+        return float(self.header.get("sample_rate", 1.0))
+
+    def to_chrome(self) -> dict:
+        """Re-frame as a Trace Event Format object (for summaries/tools)."""
+        records = _name_records(self.process_names)
+        records.extend(_chrome_record(ev) for ev in self.events)
+        return {
+            "traceEvents": records,
+            "displayTimeUnit": "ms",
+            "metadata": dict(self.header),
+        }
+
+
+def load_streaming_trace(path) -> StreamedTrace:
+    """Parse a :class:`JsonlTraceSink` file, tolerating an abrupt stop.
+
+    A run killed mid-write leaves a torn final line; parsing stops at
+    the first undecodable line and everything before it — necessarily
+    complete records — is returned.  Timestamps come back in seconds
+    (the sink wrote microseconds).
+    """
+    out = StreamedTrace()
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip().rstrip(",")
+            if not line or line in ("[", "]"):
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail from an abrupt stop — keep the prefix
+            if rec.get("ph") == "M":
+                if rec.get("name") == "trace_header":
+                    out.header = rec.get("args", {})
+                elif rec.get("name") == "process_name":
+                    out.process_names[rec["pid"]] = rec["args"]["name"]
+                continue
+            out.events.append(
+                TraceEvent(
+                    name=rec["name"],
+                    ph=rec["ph"],
+                    ts=rec["ts"] / _S_TO_US,
+                    dur=rec.get("dur", 0.0) / _S_TO_US,
+                    pid=rec["pid"],
+                    tid=rec["tid"],
+                    cat=rec.get("cat", ""),
+                    args=rec.get("args", {}),
+                )
+            )
+    return out
 
 
 def write_metrics(path, registry_or_snapshot) -> Path:

@@ -1,0 +1,233 @@
+"""Live metrics over HTTP: Prometheus text exposition, stdlib only.
+
+Snapshots used to be end-of-run files; this module lets a long
+``compare_sweep`` or ``faultcampaign`` be *watched* instead.  A
+:class:`MetricsServer` runs a daemon-threaded
+:class:`http.server.ThreadingHTTPServer` whose ``GET /metrics``
+renders a point-in-time snapshot of the live registry in the
+Prometheus text format (``text/plain; version=0.0.4``), so::
+
+    curl localhost:9309/metrics
+
+mid-run shows counters climbing as sweep points complete (the parent
+merges each worker snapshot the moment it arrives — see
+``repro.raidsim.campaign.compare_sweep``).
+
+Every scrape calls the *provider* afresh — by default
+:func:`repro.obs.metrics.default_registry` — so a command running
+under ``scoped_registry()`` serves its scope, and a process with
+observability disabled serves an empty (but valid) exposition.  The
+server only ever snapshots; it cannot perturb the simulation, and it
+costs nothing between scrapes.
+
+No third-party client library is involved anywhere:
+:func:`prometheus_text` is a direct rendering of
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` data.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .metrics import default_registry
+
+__all__ = ["prometheus_text", "MetricsServer"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: the exposition-format version Prometheus scrapers negotiate
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _metric_name(name: str) -> str:
+    """A registry name as a Prometheus metric name (dots -> underscores)."""
+    name = _NAME_OK.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: dict, extra: str = "") -> str:
+    parts = [
+        f'{_metric_name(k)}="{_escape_label(v)}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """A metrics snapshot as a Prometheus text exposition.
+
+    Counters and gauges map one-to-one; histograms become the classic
+    cumulative ``_bucket{le=...}`` series (our snapshot stores
+    per-bucket counts, so the render accumulates them) plus ``_sum``
+    and ``_count``.  An empty snapshot renders as an empty — still
+    valid — exposition.
+    """
+    lines: list[str] = []
+
+    def simple(kind: str, families: dict) -> None:
+        for name, data in sorted(families.items()):
+            pname = _metric_name(name)
+            if data.get("help"):
+                lines.append(f"# HELP {pname} {data['help']}")
+            lines.append(f"# TYPE {pname} {kind}")
+            for entry in data["values"]:
+                lines.append(
+                    f"{pname}{_label_str(entry['labels'])} {_fmt(entry['value'])}"
+                )
+
+    simple("counter", snapshot.get("counters", {}))
+    simple("gauge", snapshot.get("gauges", {}))
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        pname = _metric_name(name)
+        if data.get("help"):
+            lines.append(f"# HELP {pname} {data['help']}")
+        lines.append(f"# TYPE {pname} histogram")
+        bounds = list(data["buckets"]) + [float("inf")]
+        for entry in data["values"]:
+            labels = entry["labels"]
+            cumulative = 0
+            for bound, count in zip(bounds, entry["counts"]):
+                cumulative += count
+                le = _label_str(labels, extra=f'le="{_fmt(bound)}"')
+                lines.append(f"{pname}_bucket{le} {cumulative}")
+            lines.append(
+                f"{pname}_sum{_label_str(labels)} {_fmt(entry['sum'])}"
+            )
+            lines.append(
+                f"{pname}_count{_label_str(labels)} {entry['count']}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """``/metrics`` scrape endpoint plus a one-line index at ``/``."""
+
+    # set by MetricsServer when the handler class is specialised
+    registry_provider = staticmethod(default_registry)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = prometheus_text(
+                type(self).registry_provider().snapshot()
+            ).encode("utf-8")
+            self._reply(200, body, CONTENT_TYPE)
+        elif path in ("/", "/healthz"):
+            self._reply(
+                200,
+                b"repro metrics exporter; scrape /metrics\n",
+                "text/plain; charset=utf-8",
+            )
+        else:
+            self._reply(404, b"not found\n", "text/plain; charset=utf-8")
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args) -> None:
+        pass  # scrapes must not spam the simulation's stdout/stderr
+
+
+class MetricsServer:
+    """A live ``/metrics`` endpoint for one process.
+
+    Parameters
+    ----------
+    port:
+        TCP port to bind; ``0`` picks a free ephemeral port (read the
+        chosen one back from :attr:`port` / :attr:`url`).
+    host:
+        Bind address, loopback by default — exposing a wider interface
+        is an explicit caller decision.
+    registry_provider:
+        Zero-argument callable returning the registry to snapshot per
+        scrape; defaults to :func:`repro.obs.metrics.default_registry`
+        so scoped registries and the null sink both do the right
+        thing.
+
+    ``start`` spawns a daemon serving thread; ``close`` shuts it down
+    and releases the socket, and is idempotent (it also runs on
+    context-manager exit).
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry_provider=None,
+    ) -> None:
+        provider = registry_provider if registry_provider is not None else default_registry
+        handler = type(
+            "_BoundHandler", (_Handler,), {"registry_provider": staticmethod(provider)}
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self.closed = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Begin serving on a daemon thread; returns ``self`` for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

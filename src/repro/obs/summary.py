@@ -111,6 +111,22 @@ def trace_summary(trace: dict) -> str:
     return "\n".join(lines)
 
 
+def _load_trace_file(path) -> dict:
+    """A chrome-trace object from either export format.
+
+    End-of-run ``--trace-out foo.json`` files are one JSON object;
+    streaming ``foo.jsonl`` files are line-delimited (and possibly
+    torn by an abrupt stop) — those go through the tolerant
+    streaming loader and are re-framed.
+    """
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        from .export import load_streaming_trace
+
+        return load_streaming_trace(path).to_chrome()
+
+
 def summarize_files(metrics_path=None, trace_path=None) -> str:
     """Digest of the given artifact files (either may be omitted)."""
     parts: list[str] = []
@@ -119,9 +135,12 @@ def summarize_files(metrics_path=None, trace_path=None) -> str:
         parts.append(f"== metrics: {metrics_path} ==")
         parts.append(metrics_summary(snap))
     if trace_path is not None:
-        trace = json.loads(Path(trace_path).read_text(encoding="utf-8"))
+        trace = _load_trace_file(trace_path)
         parts.append(f"== trace: {trace_path} ==")
+        sample = trace.get("metadata", {}).get("sample_rate", 1.0)
         parts.append(trace_summary(trace))
+        if sample < 1.0:
+            parts.append(f"(per-request spans sampled at rate {sample:g})")
     if not parts:
         return "nothing to summarize (pass --metrics and/or --trace)"
     return "\n".join(parts)

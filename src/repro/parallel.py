@@ -61,6 +61,7 @@ def parallel_map(
     jobs: int | None = None,
     chunksize: int = 1,
     pool: "WorkerPool | None" = None,
+    on_result: Callable[[R], None] | None = None,
 ) -> list[R]:
     """``[fn(x) for x in items]``, fanned out across processes.
 
@@ -74,21 +75,43 @@ def parallel_map(
     workers instead of spawning a fresh executor for this one call;
     ``jobs`` is then ignored — the pool's size governs.
 
+    ``on_result`` is invoked in the parent, in submission order, as
+    each result becomes available — this is how campaign sweeps merge
+    worker metrics snapshots mid-flight (for the live ``/metrics``
+    endpoint) instead of at the end.  Because results are consumed in
+    submission order, the callback sees the exact sequence a serial
+    run would produce, so deterministic merges stay deterministic.
+
     Results always come back in item order; a worker raising propagates
     the exception to the caller after the pool shuts down.
     """
     if pool is not None:
-        return pool.map(fn, items, chunksize=chunksize)
+        return pool.map(fn, items, chunksize=chunksize, on_result=on_result)
     work: Sequence[T] = list(items)
     n_workers = min(resolve_jobs(jobs), len(work))
     if n_workers <= 1 or len(work) <= 1:
-        return _observed_map(lambda: [fn(item) for item in work], "serial", len(work))
+        return _observed_map(
+            lambda: _collect(map(fn, work), on_result), "serial", len(work)
+        )
     with ProcessPoolExecutor(max_workers=n_workers) as pool_:
         return _observed_map(
-            lambda: list(pool_.map(fn, work, chunksize=chunksize)),
+            lambda: _collect(
+                pool_.map(fn, work, chunksize=chunksize), on_result
+            ),
             "ephemeral",
             len(work),
         )
+
+
+def _collect(results: Iterable[R], on_result: Callable[[R], None] | None) -> list[R]:
+    """Drain a result iterator, surfacing each item as it completes."""
+    if on_result is None:
+        return list(results)
+    out: list[R] = []
+    for result in results:
+        out.append(result)
+        on_result(result)
+    return out
 
 
 def _observed_map(run: Callable[[], list], mode: str, n_items: int) -> list:
@@ -191,18 +214,25 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def map(
-        self, fn: Callable[[T], R], items: Iterable[T], chunksize: int = 1
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        chunksize: int = 1,
+        on_result: Callable[[R], None] | None = None,
     ) -> list[R]:
         """Order-preserving map on the persistent workers.
 
-        Same contract as :func:`parallel_map`; the pool stays warm
+        Same contract as :func:`parallel_map` (including the
+        ``on_result`` mid-flight callback); the pool stays warm
         afterwards for the next call.
         """
         if self._closed:
             raise RuntimeError("WorkerPool is closed")
         work: Sequence[T] = list(items)
         if self.n_workers <= 1 or len(work) <= 1:
-            return _observed_map(lambda: [fn(item) for item in work], "pooled", len(work))
+            return _observed_map(
+                lambda: _collect(map(fn, work), on_result), "pooled", len(work)
+            )
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.n_workers,
@@ -211,7 +241,9 @@ class WorkerPool:
             )
         executor = self._executor
         return _observed_map(
-            lambda: list(executor.map(fn, work, chunksize=chunksize)),
+            lambda: _collect(
+                executor.map(fn, work, chunksize=chunksize), on_result
+            ),
             "pooled",
             len(work),
         )

@@ -30,7 +30,7 @@ from ..core.registry import LAYOUTS, shifted_variant_name
 from ..disksim.array import DEFAULT_ELEMENT_SIZE
 from ..disksim.faultplan import FaultPlan
 from ..disksim.scheduler import PriorityScheduler
-from ..obs import default_registry, scoped_registry
+from ..obs import default_registry, default_tracer, scoped_registry
 from ..parallel import parallel_map
 from ..workloads.generator import user_read_stream
 from .controller import FaultStats, RaidController, RebuildResult, RetryPolicy
@@ -421,12 +421,16 @@ def compare_sweep(
         )
         for index, (fault_seed, user_seed) in enumerate(seeds)
     ]
-    points = parallel_map(_sweep_point, tasks, jobs=jobs, pool=pool)
+    # fold worker snapshots back *as points complete* (still in seed
+    # order — submission-order consumption): a live /metrics scrape
+    # mid-sweep sees counters climb point by point, and merge stays
+    # deterministic across jobs settings (merge is commutative for
+    # counters/histograms; seed order keeps last-write-wins gauges
+    # stable).  A streaming default tracer treats each finished point
+    # as a phase boundary and drains its buffer.
     reg = default_registry()
+    on_point = None
     if reg.enabled:
-        # fold worker snapshots back in seed order — merge is
-        # commutative for counters/histograms but seed order keeps
-        # gauges (last write wins) deterministic across jobs settings
         wall = reg.histogram(
             "sweep.point_wall_s", "worker wall-clock seconds per sweep point"
         ).labels()
@@ -435,10 +439,20 @@ def compare_sweep(
             "pickled result size per sweep point (pool return traffic)",
             buckets=(1e3, 1e4, 1e5, 1e6, 1e7),
         ).labels()
-        for p in points:
+        done = reg.counter(
+            "sweep.points_completed", "sweep points merged back so far"
+        ).labels()
+
+        def on_point(p: SweepPoint) -> None:
             reg.merge(p.metrics)
             wall.observe(p.wall_s)
             size.observe(len(pickle.dumps(p)))
+            done.inc()
+            tracer = default_tracer()
+            if tracer is not None:
+                tracer.phase_boundary()
+
+    points = parallel_map(_sweep_point, tasks, jobs=jobs, pool=pool, on_result=on_point)
     return SweepResult(
         family=family, n=n, root_seed=root_seed, points=tuple(points)
     )

@@ -242,20 +242,28 @@ class _CtrlObs:
         ).labels()
 
     def phase_span(self, t0: float, t1: float, phase_idx: int, fset, n_stripes: int) -> None:
-        """One ``rebuild.phase`` complete event on the controller track."""
+        """One ``rebuild.phase`` complete event on the controller track.
+
+        A phase end is also the streaming tracer's durability point:
+        the bounded buffer drains to the JSONL sink here, so a trace of
+        a long campaign never holds more than one phase's tail (or the
+        watermark, whichever trips first) in memory.
+        """
         self.phases.inc()
         self.plan_spans.observe(t1 - t0)
-        if self.group is not None and t1 > t0:
-            self.group.complete(
-                "rebuild.phase",
-                t0,
-                t1 - t0,
-                pid=self.ctrl_track,
-                cat="rebuild",
-                phase=phase_idx,
-                failed=list(fset),
-                stripes=n_stripes,
-            )
+        if self.group is not None:
+            if t1 > t0:
+                self.group.complete(
+                    "rebuild.phase",
+                    t0,
+                    t1 - t0,
+                    pid=self.ctrl_track,
+                    cat="rebuild",
+                    phase=phase_idx,
+                    failed=list(fset),
+                    stripes=n_stripes,
+                )
+            self.group.phase_boundary()
 
 
 class _RetryBatch:
