@@ -17,6 +17,7 @@ Kernels:
 * ``engine_elevator``     — raw event-engine throughput, elevator scheduling
 * ``batch_submission``    — vectorized ``submit_batch`` over bulk numpy ops
 * ``plan_generation``     — reconstruction plans for every 2-failure set
+* ``nemesis_schedule``    — drawing dense year-long nemesis fault schedules
 * ``campaign_serial``     — 16-seed compare_sweep, ``jobs=1``
 * ``campaign_parallel``   — the same sweep fanned over every core
 * ``campaign_pooled``     — the same sweep on a persistent ``WorkerPool``
@@ -131,6 +132,26 @@ def kernel_plans() -> float:
             layout.reconstruction_plan(failed)
 
     return _time(plans)
+
+
+def kernel_nemesis_schedule(days: float) -> float:
+    """Drawing (and wire-forming) dense multi-week nemesis schedules."""
+    from repro.nemesis import HazardRates, build_schedule
+
+    rates = HazardRates(
+        disk_death_per_day=2.0,
+        fail_slow_per_day=6.0,
+        transient_burst_per_day=12.0,
+        lse_storm_per_day=6.0,
+    )
+
+    def draw() -> None:
+        for seed in range(4):
+            build_schedule(
+                12, days * 86_400.0, seed=seed, rates=rates
+            ).to_dict()
+
+    return _time(draw)
 
 
 def kernel_campaign(n_seeds: int, n_stripes: int, jobs: int | None) -> float:
@@ -292,6 +313,7 @@ def run_suite(tiny: bool, repeats: int) -> dict:
         "engine_requests": 2000 if tiny else 20000,
         "sweep_seeds": 4 if tiny else 16,
         "sweep_stripes": 4 if tiny else 12,
+        "nemesis_days": 30.0 if tiny else 365.0,
     }
 
     def best(fn) -> float:
@@ -317,6 +339,10 @@ def run_suite(tiny: bool, repeats: int) -> dict:
     print(f"  batch_submission  {kernels['batch_submission']:.3f} s")
     kernels["plan_generation"] = best(kernel_plans)
     print(f"  plan_generation   {kernels['plan_generation']:.3f} s")
+    kernels["nemesis_schedule"] = best(
+        lambda: kernel_nemesis_schedule(scale["nemesis_days"])
+    )
+    print(f"  nemesis_schedule  {kernels['nemesis_schedule']:.3f} s")
     # the sweep kernels run once each: the pool spin-up is part of the cost
     kernels["campaign_serial"] = kernel_campaign(
         scale["sweep_seeds"], scale["sweep_stripes"], jobs=1

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A week under the nemesis: continuous stochastic faults, attributed.
+
+``fault_campaign.py`` runs one *fixed* storm; this walkthrough lets a
+seeded nemesis daemon improvise an open-ended one.  Over a simulated
+week, four hazard classes arrive as independent Poisson streams —
+
+1. whole-disk deaths (capped by a safety budget the mirror tolerates);
+2. fail-slow windows (one drive serving everything 2-8x slower);
+3. transient-error bursts (array-wide retry storms);
+4. latent-sector-error storms;
+
+— and every activation is recorded on an active-fault timeline.  Both
+arrangements face the *identical* schedule, tick by tick; an anomaly
+detector keeps quiet-period baselines of latency, throughput and
+rebuild progress, flags excursions, and attributes each one to the
+faults active at that instant.  The campaign's closing claim is the
+nemesis invariant: **every excursion overlaps an active fault** — an
+unexplained excursion would mean the engine misbehaved on its own.
+
+Run::
+
+    python examples/nemesis_campaign.py [days]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.nemesis import (
+    FAULT_KINDS,
+    FaultTimeline,
+    HazardRates,
+    NemesisConfig,
+    run_nemesis_campaign,
+)
+
+
+def main(days: float = 7.0) -> int:
+    # 1. one config — the entire campaign is a pure function of it
+    config = NemesisConfig(
+        family="mirror",
+        n=4,
+        horizon_s=days * 86_400.0,
+        tick_s=3600.0,
+        seed=2012,
+        rates=HazardRates(
+            disk_death_per_day=0.5,
+            fail_slow_per_day=1.0,
+            transient_burst_per_day=2.0,
+            lse_storm_per_day=1.0,
+        ),
+        safety_budget=1,
+    )
+    print(f"nemesis campaign: {days:g} simulated day(s), "
+          f"{config.n_ticks} hourly ticks, seed {config.seed}")
+
+    # 2. run both arrangements through the identical stochastic schedule
+    report = run_nemesis_campaign(config)
+    sched = report.schedule
+    print(f"the daemon drew {len(sched)} faults: "
+          + ", ".join(f"{len(sched.of_kind(k))} {k}" for k in FAULT_KINDS)
+          + f" ({sched.dropped_deaths} death(s) dropped by the safety budget)")
+
+    # 3. what the storm did, per arrangement
+    for run in (report.traditional, report.shifted):
+        a = run.attribution
+        print(f"\n{run.layout_name}")
+        print(f"  availability {run.availability:.4f}, mean latency "
+              f"{run.mean_latency_s * 1e3:.1f} ms, "
+              f"{run.rebuild_ticks} rebuild tick(s)")
+        print(f"  {a.n_excursions} excursion(s), "
+              f"{a.attribution_coverage:.0%} attributed to active faults")
+
+    # 4. the timeline the detector attributed against (first few entries)
+    timeline = FaultTimeline.from_schedule(sched)
+    print("\nactive-fault timeline (first 5 intervals):")
+    for iv in timeline.intervals[:5]:
+        print(f"  #{iv.fault_id:<3d} {iv.kind:<16s} disk {iv.disk:>2d}  "
+              f"[{iv.start_s / 3600.0:7.2f} h, {iv.end_s / 3600.0:7.2f} h)  "
+              f"magnitude {iv.magnitude:g}")
+
+    # 5. the closing claims: attribution and bit-reproducibility
+    report.assert_invariant()
+    print(f"\nnemesis invariant holds: every excursion overlaps an active "
+          f"fault ({report.unexplained_total} unexplained)")
+    print(f"availability delta (shifted - traditional): "
+          f"{report.availability_delta:+.4f}")
+    print(f"report digest {report.digest} — rerunning the same seed "
+          f"reproduces it bit for bit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(float(sys.argv[1]) if len(sys.argv) > 1 else 7.0))

@@ -283,6 +283,11 @@ def cmd_faultcampaign(args: argparse.Namespace) -> int:
     print(f"user latency speedup:  {cmp_.latency_speedup:.2f}x")
     print(f"rebuild speedup:       {cmp_.makespan_speedup:.2f}x")
     if args.json:
+        from .nemesis import timeline_from_plan
+
+        horizon = max(
+            cmp_.traditional.rebuild.makespan_s, cmp_.shifted.rebuild.makespan_s
+        )
         _write_json(args.json, {
             "kind": "faultcampaign",
             "family": family,
@@ -293,8 +298,81 @@ def cmd_faultcampaign(args: argparse.Namespace) -> int:
             "availability_delta": cmp_.availability_delta,
             "latency_speedup": _finite(cmp_.latency_speedup),
             "makespan_speedup": _finite(cmp_.makespan_speedup),
+            "active_fault_timeline": timeline_from_plan(plan, horizon).to_dict(),
             "metrics": default_registry().snapshot(),
         })
+    return 0
+
+
+def cmd_nemesis(args: argparse.Namespace) -> int:
+    from .nemesis import FAULT_KINDS, HazardRates, NemesisConfig, run_nemesis_campaign
+    from .obs import default_registry
+
+    rates = HazardRates(
+        disk_death_per_day=args.deaths_per_day,
+        fail_slow_per_day=args.fail_slow_per_day,
+        transient_burst_per_day=args.bursts_per_day,
+        lse_storm_per_day=args.storms_per_day,
+    )
+    config = NemesisConfig(
+        family=args.family,
+        n=args.n,
+        horizon_s=args.horizon_days * 86_400.0,
+        tick_s=args.tick_s,
+        seed=args.seed,
+        rates=rates,
+        safety_budget=args.safety_budget,
+        allow_excess=args.allow_excess,
+        n_stripes=args.stripes,
+    )
+    report = run_nemesis_campaign(config, checkpoint_path=args.checkpoint)
+    assert report is not None  # no tick cap on the CLI path
+    determinism_ok = None
+    if args.verify_determinism:
+        # a second, checkpoint-free run must land on the same digest
+        determinism_ok = run_nemesis_campaign(config).digest == report.digest
+
+    sched = report.schedule
+    per_kind = ", ".join(
+        f"{len(sched.of_kind(kind))} {kind}" for kind in FAULT_KINDS
+    )
+    print(f"Nemesis campaign on {args.family} at n={args.n}: "
+          f"{args.horizon_days:g} simulated days, {config.n_ticks} ticks, "
+          f"seed {args.seed}")
+    print(f"  schedule: {len(sched)} faults ({per_kind}); "
+          f"{sched.dropped_deaths} death(s) dropped by safety budget "
+          f"{sched.safety_budget}")
+    for run in (report.traditional, report.shifted):
+        a = run.attribution
+        print(f"\n{run.layout_name}:")
+        print(f"  availability:          {run.availability:.4f}")
+        print(f"  mean user latency:     {run.mean_latency_s * 1e3:.1f} ms")
+        print(f"  mean throughput:       {run.mean_throughput_rps:.1f} reads/s")
+        print(f"  rebuild ticks:         {run.rebuild_ticks}/{run.n_ticks}")
+        print(f"  excursions:            {a.n_excursions} "
+              f"({a.attribution_coverage:.1%} attributed, "
+              f"{len(a.unexplained)} unexplained)")
+    print(f"\navailability delta (shifted - traditional): "
+          f"{report.availability_delta:+.4f}")
+    print(f"attribution coverage:  {report.attribution_coverage:.1%} "
+          f"({report.unexplained_total} unexplained)")
+    line = f"report digest:         {report.digest}"
+    if determinism_ok is not None:
+        line += "  [determinism verified]" if determinism_ok else "  [MISMATCH]"
+    print(line)
+    if args.json:
+        payload = report.to_dict()
+        payload["kind"] = "nemesis"
+        payload["metrics"] = default_registry().snapshot()
+        _write_json(args.json, payload)
+    if determinism_ok is False:
+        print("error: rerun from the same seed produced a different report",
+              file=sys.stderr)
+        return 2
+    if args.strict and report.unexplained_total:
+        print(f"error: {report.unexplained_total} excursion(s) overlap no "
+              f"active fault", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -550,6 +628,40 @@ def _parser() -> argparse.ArgumentParser:
                         "(per-run FaultStats + metrics snapshot) to FILE")
     _add_obs_args(p)
     p.set_defaults(func=cmd_faultcampaign)
+
+    p = sub.add_parser(
+        "nemesis",
+        help="continuous stochastic fault campaign with anomaly attribution",
+    )
+    p.add_argument("--family", default="mirror",
+                   choices=["mirror", "mirror-parity", "three-mirror"],
+                   help="architecture family (traditional vs shifted variant)")
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--stripes", type=int, default=6)
+    p.add_argument("--horizon-days", type=float, default=7.0,
+                   help="simulated campaign length in days")
+    p.add_argument("--tick-s", type=float, default=3600.0,
+                   help="sampling tick length in simulated seconds")
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--deaths-per-day", type=float, default=0.5)
+    p.add_argument("--fail-slow-per-day", type=float, default=1.0)
+    p.add_argument("--bursts-per-day", type=float, default=2.0)
+    p.add_argument("--storms-per-day", type=float, default=1.0)
+    p.add_argument("--safety-budget", type=int, default=1,
+                   help="max concurrent disk deaths the scheduler may inject")
+    p.add_argument("--allow-excess", action="store_true",
+                   help="let deaths exceed the safety budget (chaos mode)")
+    p.add_argument("--checkpoint", metavar="FILE", default=None,
+                   help="resume from / save per-tick progress to FILE")
+    p.add_argument("--verify-determinism", action="store_true",
+                   help="re-run from the same seed and fail on digest mismatch")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero if any excursion overlaps no active fault")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the full report (schedule, timeline, "
+                        "per-tick samples, excursions) to FILE")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_nemesis)
 
     p = sub.add_parser("scrub", help="inject latent sector errors and scrub them")
     p.add_argument("--layout", default="shifted-mirror-parity", choices=sorted(LAYOUTS))

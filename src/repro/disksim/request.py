@@ -69,6 +69,17 @@ class IORequest:
     #: 0 for a fresh request, k for its k-th retry (see
     #: :class:`repro.raidsim.controller.RetryPolicy`)
     attempt: int = 0
+    #: ``req_id`` of the original request this retry descends from;
+    #: ``-1`` for a fresh request.  Fault models key per-operation
+    #: state (e.g. a transient's remaining-failure budget) by the
+    #: *chain* root, so two independent reads of the same geometry
+    #: never share fault state.
+    root_id: int = -1
+
+    @property
+    def chain_id(self) -> int:
+        """Identity of this request's retry chain (its own id if fresh)."""
+        return self.req_id if self.root_id < 0 else self.root_id
 
     def __post_init__(self) -> None:
         if self.size <= 0:

@@ -14,7 +14,9 @@ simulation:
   snapshot round-trip;
 * :mod:`repro.obs.http` — live Prometheus text exposition
   (``--metrics-port``) over a stdlib HTTP server;
-* :mod:`repro.obs.summary` — the ``repro obs summary`` pretty-printer.
+* :mod:`repro.obs.summary` — the ``repro obs summary`` pretty-printer;
+* :mod:`repro.obs.baseline` — rolling quiet-period baselines backing
+  the :mod:`repro.nemesis` anomaly detector.
 
 The global hooks — :func:`default_registry` for metrics and
 :func:`default_tracer` for spans — are what instrumented components
@@ -25,6 +27,7 @@ trace.json`` needs no plumbing through intermediate layers.  See
 
 from __future__ import annotations
 
+from .baseline import RollingBaseline
 from .export import (
     JsonlTraceSink,
     StreamedTrace,
@@ -105,6 +108,8 @@ __all__ = [
     "metrics_summary",
     "trace_summary",
     "summarize_files",
+    # baselines
+    "RollingBaseline",
 ]
 
 _default_tracer: Tracer | None = None

@@ -80,12 +80,19 @@ class RetryPolicy:
     backoff shows up in the measured makespans like it would on real
     hardware.  Only *transient* errors and timeouts are retried —
     latent sector errors and dead disks go straight to re-routing.
+
+    ``jitter`` spreads each backoff uniformly over
+    ``[1 - jitter, 1 + jitter]`` times the exponential base delay.
+    The draw comes from the controller's *seeded* retry stream (derived
+    from the fault plan's seed, never ambient randomness), so jittered
+    campaigns stay bit-reproducible end to end.
     """
 
     max_attempts: int = 4
     backoff_base_s: float = 0.002
     backoff_factor: float = 2.0
     timeout_s: float | None = None
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -96,10 +103,22 @@ class RetryPolicy:
             raise ValueError(f"backoff factor must be >= 1, got {self.backoff_factor}")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout_s}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
 
-    def backoff_s(self, failed_attempt: int) -> float:
-        """Backoff before resubmitting after 0-based ``failed_attempt``."""
-        return self.backoff_base_s * self.backoff_factor**failed_attempt
+    def backoff_s(
+        self, failed_attempt: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Backoff before resubmitting after 0-based ``failed_attempt``.
+
+        With ``jitter`` set, ``rng`` supplies the spread factor; callers
+        that omit it (or a zero-jitter policy) get the deterministic
+        exponential delay.
+        """
+        delay = self.backoff_base_s * self.backoff_factor**failed_attempt
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
 
 
 @dataclass
@@ -305,7 +324,7 @@ class _RetryBatch:
             obs.timeouts.inc()
         retryable = (req.error and req.error_kind == "transient") or timed_out
         if policy is not None and retryable and req.attempt + 1 < policy.max_attempts:
-            delay = policy.backoff_s(req.attempt)
+            delay = policy.backoff_s(req.attempt, ctrl._retry_rng)
             stats.retries += 1
             stats.backoff_time_s += delay
             obs.retries.inc()
@@ -318,6 +337,7 @@ class _RetryBatch:
                 priority=req.priority,
                 tag=req.tag,
                 attempt=req.attempt + 1,
+                root_id=req.chain_id,
             )
             self.outstanding += 1
             ctrl.array.sim.schedule_call(delay, ctrl.array.submit, retry, self.on_request)
@@ -442,6 +462,13 @@ class RaidController:
         if retry_policy is None and fault_plan is not None:
             retry_policy = RetryPolicy()
         self.retry_policy = retry_policy
+        # backoff jitter draws from a dedicated stream derived from the
+        # campaign seed (spawn key keeps it independent of the fault
+        # injection stream), never from ambient randomness
+        retry_seed = fault_plan.seed if fault_plan is not None else film_seed
+        self._retry_rng = np.random.default_rng(
+            np.random.SeedSequence(retry_seed, spawn_key=(0xB0FF,))
+        )
         self.fault_stats = FaultStats()
         self.film = FilmSource(payload_bytes, film_seed)
         self.payload_bytes = payload_bytes

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.raidsim",
     "repro.workloads",
     "repro.experiments",
+    "repro.nemesis",
 ]
 
 

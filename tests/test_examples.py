@@ -69,3 +69,12 @@ def test_fault_campaign():
     assert "clean rebuild of disk 0" in out
     assert "availability delta (shifted - traditional):" in out
     assert "rebuild speedup" in out
+
+
+@pytest.mark.slow
+def test_nemesis_campaign():
+    out = _run("nemesis_campaign.py", "2")
+    assert "the daemon drew" in out
+    assert "active-fault timeline" in out
+    assert "nemesis invariant holds" in out
+    assert "availability delta (shifted - traditional):" in out

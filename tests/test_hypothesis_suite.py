@@ -171,6 +171,90 @@ def test_write_workload_always_preserves_redundancy(seed):
     assert ctrl.verify_redundancy()
 
 
+# ----------------------------------------------------------------------
+# fault replay determinism (serial and across the fork boundary)
+# ----------------------------------------------------------------------
+
+
+def _plan_fault_events(args) -> tuple:
+    """Worker fn: one rebuild under a seeded storm, distilled to events.
+
+    The tuple is the plan's observable *fault event sequence*: the
+    makespan plus every robustness counter — if any RNG stream leaked
+    or reordered between activations, something here moves.
+    """
+    n, seed, transient_rate, lse_burst, fail_slow_mult = args
+    from dataclasses import asdict
+
+    from repro.core.registry import LAYOUTS
+    from repro.raidsim.campaign import default_fault_plan
+    from repro.raidsim.controller import RetryPolicy
+
+    layout = LAYOUTS["mirror"](n)
+    plan = default_fault_plan(
+        layout.n_disks,
+        seed=seed,
+        transient_rate=transient_rate,
+        lse_burst=lse_burst,
+        fail_slow_multiplier=fail_slow_mult,
+        second_failure_time_s=None,
+    )
+    ctrl = RaidController(
+        layout,
+        n_stripes=3,
+        payload_bytes=4,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_attempts=4, backoff_base_s=0.01, jitter=0.5),
+    )
+    res = ctrl.rebuild([0])
+    return (res.makespan_s, asdict(ctrl.fault_stats))
+
+
+def _schedule_wire(args) -> dict:
+    """Worker fn: a nemesis schedule's full wire form."""
+    n_disks, horizon_s, seed = args
+    from repro.nemesis import build_schedule
+
+    return build_schedule(n_disks, horizon_s, seed=seed).to_dict()
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(2, 4),
+    rate=st.floats(0.0, 0.5),
+    lse=st.integers(0, 6),
+    mult=st.floats(1.0, 8.0),
+)
+@settings(max_examples=12, deadline=None)
+def test_fault_plan_replays_identically_when_activated_twice(
+    seed, n, rate, lse, mult
+):
+    args = (n, seed, rate, lse, mult)
+    assert _plan_fault_events(args) == _plan_fault_events(args)
+
+
+@given(seed=st.integers(0, 2**31), n_disks=st.integers(2, 12))
+@settings(max_examples=20, deadline=None)
+def test_nemesis_schedule_replays_identically_when_drawn_twice(seed, n_disks):
+    args = (n_disks, 3 * 86_400.0, seed)
+    assert _schedule_wire(args) == _schedule_wire(args)
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=3, deadline=None)
+def test_fault_replay_is_identical_across_the_worker_pool_boundary(seed):
+    """Forked workers reproduce the parent's exact fault event sequence."""
+    from repro.parallel import WorkerPool
+
+    plan_args = (3, seed, 0.3, 4, 4.0)
+    sched_args = (6, 86_400.0, seed)
+    with WorkerPool(jobs=2) as pool:
+        remote_plans = pool.map(_plan_fault_events, [plan_args, plan_args])
+        remote_sched = pool.map(_schedule_wire, [sched_args])
+    assert remote_plans[0] == remote_plans[1] == _plan_fault_events(plan_args)
+    assert remote_sched[0] == _schedule_wire(sched_args)
+
+
 @given(seed=st.integers(0, 2**31))
 @settings(max_examples=10, deadline=None)
 def test_write_then_fail_then_rebuild_roundtrip(seed):
