@@ -60,9 +60,19 @@ _MB = 1024 * 1024
 DEFAULT_ELEMENT_SIZE = 4 * _MB
 
 #: below this many ops the tuned scalar coalescer beats numpy's fixed
-#: per-call overhead (asarray/lexsort on tiny inputs); measured in
-#: ``benchmarks/perfbench.py``'s ``coalesce_large`` kernel
-_NUMPY_MIN_OPS = 48
+#: per-call overhead (asarray/lexsort on tiny inputs).  Calibrated per
+#: machine by :mod:`repro.disksim.autotune` at the first batch that has
+#: to make the choice; ``REPRO_BATCH_THRESHOLD`` pins it explicitly.
+_numpy_min_ops: int | None = None
+
+
+def _resolve_numpy_min_ops() -> int:
+    global _numpy_min_ops
+    if _numpy_min_ops is None:
+        from .autotune import batch_threshold
+
+        _numpy_min_ops = batch_threshold()
+    return _numpy_min_ops
 
 _batch_enabled = os.environ.get("REPRO_BATCH", "1") != "0"
 
@@ -180,8 +190,10 @@ class ElementArray:
         Disks in the array (the architecture's global disk count).
     element_size:
         Bytes per element; offset of slot ``k`` is ``k * element_size``.
-    params, scheduler_factory:
-        Forwarded to the underlying :class:`Simulation`.
+    params, scheduler_factory, calendar:
+        Forwarded to the underlying :class:`Simulation` (``calendar``
+        picks the event-calendar implementation, overriding
+        ``REPRO_CALENDAR``).
     """
 
     def __init__(
@@ -192,6 +204,7 @@ class ElementArray:
         scheduler_factory: Callable[[], Scheduler] = ElevatorScheduler,
         faults=None,
         tracer=None,
+        calendar: str | None = None,
     ) -> None:
         if element_size <= 0:
             raise ValueError(f"element size must be positive, got {element_size}")
@@ -202,6 +215,7 @@ class ElementArray:
             scheduler_factory=scheduler_factory,
             faults=faults,
             tracer=tracer,
+            calendar=calendar,
         )
         self._obs = _ArrayObs() if obs_enabled() else None
 
@@ -226,13 +240,11 @@ class ElementArray:
         """Build a request covering ``n_elements`` contiguous slots."""
         if slot < 0 or n_elements < 1:
             raise ValueError(f"bad element range: slot={slot}, n={n_elements}")
+        # positional call: the keyword form costs ~30% more per request
+        # and this sits on the scalar submission hot path
+        element_size = self.element_size
         return IORequest(
-            disk=disk,
-            offset=slot * self.element_size,
-            size=n_elements * self.element_size,
-            kind=kind,
-            priority=priority,
-            tag=tag,
+            disk, slot * element_size, n_elements * element_size, kind, priority, tag
         )
 
     # ------------------------------------------------------------------
@@ -305,7 +317,10 @@ class ElementArray:
         m = len(disks)
         if len(slots) != m or (n_elements is not None and len(n_elements) != m):
             raise ValueError("disks, slots and n_elements must be parallel")
-        use_numpy = _batch_enabled and m >= _NUMPY_MIN_OPS
+        threshold = _numpy_min_ops
+        if threshold is None:
+            threshold = _resolve_numpy_min_ops()
+        use_numpy = _batch_enabled and m >= threshold
         if use_numpy:
             runs, op_req = self._coalesce_numpy(disks, slots, n_elements)
         else:

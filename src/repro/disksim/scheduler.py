@@ -12,12 +12,19 @@ Three policies, selectable per simulation:
   reconstruction, where user reads preempt rebuild I/O (§III).
 
 The elevator variants keep their queues **sorted by (offset, req_id)**
-and locate the next request with a binary search instead of scanning
-(and copying) the whole pending list on every pop — under deep queues
-(on-line reconstruction with a heavy user-read stream) the old
-O(pending) scan per pop dominated the event loop.
-``tests/disksim/test_scheduler_equivalence.py`` property-checks that
-the ordering is identical to the original linear-scan definition.
+as ``((offset, req_id), request)`` pairs — comparisons stay entirely in
+C tuple code (no ``key=`` callable per probe), and ``req_id`` is unique
+so ordering never falls through to comparing requests.  Arrivals stage
+in a plain append-only list and merge into the sorted queue lazily at
+the next pop: a burst of ``add`` calls costs one ``sort`` instead of a
+memmove-per-insert.  ``tests/disksim/test_scheduler_equivalence.py``
+property-checks that the ordering is identical to the original
+linear-scan definition.
+
+Every scheduler also supports :meth:`Scheduler.drain` — the full serve
+order under no further arrivals — which the event engine's vectorized
+drain path uses to compute a disk's remaining timeline in one call
+instead of one ``pop`` per completion event.
 """
 
 from __future__ import annotations
@@ -26,13 +33,144 @@ from bisect import bisect_left, insort
 from collections import deque
 from typing import Iterable
 
+import numpy as np
+
 from .request import IORequest
 
 __all__ = ["Scheduler", "FIFOScheduler", "ElevatorScheduler", "PriorityScheduler"]
 
+#: Below this queue length the Python sweep beats the numpy grid path's
+#: fixed array-materialisation cost.
+_GRID_MIN = 128
 
-def _sort_key(request: IORequest) -> tuple[int, int]:
-    return (request.offset, request.req_id)
+
+def _grid_drain_staged(staged: list[IORequest], head: int) -> list[IORequest] | None:
+    """Vectorized drain order straight from unsorted arrivals, else ``None``.
+
+    Same uniform-grid argument as :func:`_cscan_drain_grid`, but starting
+    from the elevator's *staged* (arrival-order) list: one ``lexsort`` by
+    ``(offset, req_id)`` replaces the comparison sort the lazy merge
+    would otherwise pay, and no ``((offset, req_id), request)`` pair
+    tuples are ever built.
+    """
+    n = len(staged)
+    first_size = staged[0].size
+    sizes = np.fromiter((r.size for r in staged), np.int64, n)
+    if not (sizes == first_size).all():
+        return None
+    offs = np.fromiter((r.offset for r in staged), np.int64, n)
+    if (offs % first_size).any():
+        return None
+    rids = np.fromiter((r.req_id for r in staged), np.int64, n)
+    order = np.lexsort((rids, offs))
+    offs = offs[order]
+    start = int(np.searchsorted(offs, head, side="left"))
+    if start == n:
+        start = 0  # wrap: the first sweep covers the whole queue
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(offs[1:], offs[:-1], out=boundary[1:])
+    run_starts = np.flatnonzero(boundary)
+    run_lengths = np.diff(run_starts, append=np.int64(n))
+    occurrence = np.arange(n, dtype=np.int64) - np.repeat(run_starts, run_lengths)
+    sweep = occurrence + (np.arange(n) < start)
+    final = order[np.argsort(sweep, kind="stable")]
+    return [staged[i] for i in final.tolist()]
+
+
+def _cscan_drain_grid(q: list, head: int) -> list[IORequest] | None:
+    """Vectorized drain order for uniform-grid queues, else ``None``.
+
+    When every request has the same size ``s`` and every offset is a
+    multiple of ``s`` (the element-array common case), consecutive
+    distinct offsets differ by at least ``s`` — so each C-SCAN sweep
+    serves exactly the *first remaining* request of every distinct
+    offset it covers.  A request's sweep number is therefore its
+    occurrence index within its equal-offset run, plus one if it sits
+    before the initial head (the first sweep only covers offsets at or
+    beyond the head).  The serve order is then a single stable argsort
+    by sweep number: ties keep the queue's (offset, req_id) order,
+    which is exactly the order each sweep picks them in.
+    """
+    n = len(q)
+    s = q[0][1].size
+    sizes = np.fromiter((pair[1].size for pair in q), np.int64, n)
+    if not (sizes == s).all():
+        return None
+    offs = np.fromiter((pair[0][0] for pair in q), np.int64, n)
+    if (offs % s).any():
+        return None
+    start = int(np.searchsorted(offs, head, side="left"))
+    if start == n:
+        start = 0  # wrap: the first sweep covers the whole queue
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(offs[1:], offs[:-1], out=boundary[1:])
+    run_starts = np.flatnonzero(boundary)
+    run_lengths = np.diff(run_starts, append=np.int64(n))
+    occurrence = np.arange(n, dtype=np.int64) - np.repeat(run_starts, run_lengths)
+    sweep = occurrence + (np.arange(n) < start)
+    order = np.argsort(sweep, kind="stable")
+    return [q[i][1] for i in order.tolist()]
+
+
+def _cscan_drain(q: list, head: int) -> list[IORequest]:
+    """Serve order of repeated C-SCAN pops over a sorted pair list.
+
+    ``q`` is a ``((offset, req_id), request)`` list sorted ascending;
+    it is consumed.  Each sweep walks forward from the head greedily
+    chaining requests whose offset is at or beyond the previous
+    request's end (the head after serving), wraps to the lowest
+    remaining offset, and repeats — exactly the sequence of
+    ``pop(head)`` results, computed in O(n) per sweep instead of a
+    bisect plus list memmove per pop.
+    """
+    if len(q) >= _GRID_MIN:
+        ordered = _cscan_drain_grid(q, head)
+        if ordered is not None:
+            q.clear()
+            return ordered
+    out: list[IORequest] = []
+    low_yield_sweeps = 0
+    while q:
+        n_before = len(q)
+        start = bisect_left(q, ((head, -1),))
+        if start == len(q):
+            start = 0  # wrap: lowest remaining offset
+        leftovers = q[:start]
+        cur_end = -1  # first pick is unconditional (offsets are >= 0)
+        append = out.append
+        skip = leftovers.append
+        for j in range(start, n_before):
+            pair = q[j]
+            if pair[0][0] >= cur_end:
+                req = pair[1]
+                append(req)
+                cur_end = req.offset + req.size
+            else:
+                skip(pair)
+        q = leftovers
+        head = cur_end
+        # degenerate queues (many requests overlapping one hot range)
+        # pick O(1) requests per sweep; finish those with per-pop
+        # bisects rather than going quadratic in whole-queue sweeps.
+        # One low-yield sweep is normal (the first sweep starts at an
+        # arbitrary head, so it only covers the top of the range) —
+        # only bail after two in a row.
+        if (n_before - len(q)) * 8 < n_before:
+            low_yield_sweeps += 1
+            if low_yield_sweeps >= 2 and len(q) > 512:
+                while q:
+                    idx = bisect_left(q, ((head, -1),))
+                    if idx == len(q):
+                        idx = 0
+                    req = q.pop(idx)[1]
+                    append(req)
+                    head = req.offset + req.size
+                break
+        else:
+            low_yield_sweeps = 0
+    return out
 
 
 class Scheduler:
@@ -50,6 +188,24 @@ class Scheduler:
         """Remove and return the next request to serve."""
         raise NotImplementedError
 
+    def drain(self, head_position: int) -> list[IORequest]:
+        """Full serve order assuming no further arrivals; empties the queue.
+
+        Semantically identical to calling :meth:`pop` until empty with
+        the head advanced to each served request's end — which is what
+        the engine does between arrivals, since the disk model moves
+        its head to ``request.end`` after every serve.  Subclasses
+        override this with O(n)-ish extraction; the base implementation
+        is the literal pop loop, so any scheduler is drainable.
+        """
+        out: list[IORequest] = []
+        pop = self.pop
+        while self:
+            request = pop(head_position)
+            out.append(request)
+            head_position = request.offset + request.size
+        return out
+
     def __len__(self) -> int:
         return len(self._pending)
 
@@ -57,11 +213,11 @@ class Scheduler:
         return bool(self._pending)
 
     def peek_all(self) -> Iterable[IORequest]:
-        """Live view of pending requests — **no copy** (diagnostics).
+        """View of pending requests in queue order (diagnostics).
 
-        The returned object reflects subsequent ``add``/``pop`` calls
-        and must not be mutated; call :meth:`snapshot` for an
-        independent copy.
+        May be a live view or an assembled list depending on the
+        scheduler's internal layout; it must not be mutated.  Call
+        :meth:`snapshot` for an independent copy.
         """
         return self._pending
 
@@ -85,6 +241,11 @@ class FIFOScheduler(Scheduler):
             raise IndexError("pop from empty scheduler")
         return self._pending.popleft()  # type: ignore[attr-defined]
 
+    def drain(self, head_position: int) -> list[IORequest]:
+        out = list(self._pending)
+        self._pending.clear()
+        return out
+
 
 class ElevatorScheduler(Scheduler):
     """C-SCAN: ascending offsets from the head, wrapping to the lowest.
@@ -93,21 +254,68 @@ class ElevatorScheduler(Scheduler):
     searches for the first request at or beyond the head and wraps to
     index 0 when nothing is ahead — exactly the request the original
     linear scan selected via ``min`` over the ahead (or whole) pool.
+    New arrivals stage unsorted and merge at the next pop.
     """
 
-    __slots__ = ()
+    __slots__ = ("_q", "_staged")
+
+    def __init__(self) -> None:
+        self._q: list[tuple[tuple[int, int], IORequest]] = []
+        self._staged: list[IORequest] = []
 
     def add(self, request: IORequest) -> None:
-        insort(self._pending, request, key=_sort_key)
+        # bare request, no sort-key pair — arrivals are the engine's
+        # hottest path and the key is only needed once the queue is
+        # actually ordered (lazily, at the next pop or drain)
+        self._staged.append(request)
+
+    def _merge(self) -> None:
+        staged = self._staged
+        if staged:
+            q = self._q
+            if len(staged) == 1 and q:
+                r = staged[0]
+                insort(q, ((r.offset, r.req_id), r))
+            else:
+                q.extend(((r.offset, r.req_id), r) for r in staged)
+                q.sort()
+            staged.clear()
 
     def pop(self, head_position: int) -> IORequest:
-        pending = self._pending
-        if not pending:
+        self._merge()
+        q = self._q
+        if not q:
             raise IndexError("pop from empty scheduler")
-        idx = bisect_left(pending, head_position, key=lambda r: r.offset)
-        if idx == len(pending):
+        # the probe 1-tuple sorts before any real ((offset, req_id),
+        # request) entry with the same key, and req_id >= 0 means the
+        # keys never tie with (head, -1) — so this finds the first
+        # entry with offset >= head without ever comparing requests
+        idx = bisect_left(q, ((head_position, -1),))
+        if idx == len(q):
             idx = 0  # wrap: lowest offset
-        return pending.pop(idx)
+        return q.pop(idx)[1]
+
+    def drain(self, head_position: int) -> list[IORequest]:
+        staged = self._staged
+        if not self._q and len(staged) >= _GRID_MIN:
+            out = _grid_drain_staged(staged, head_position)
+            if out is not None:
+                staged.clear()
+                return out
+        self._merge()
+        q = self._q
+        self._q = []
+        return _cscan_drain(q, head_position)
+
+    def __len__(self) -> int:
+        return len(self._q) + len(self._staged)
+
+    def __bool__(self) -> bool:
+        return bool(self._q) or bool(self._staged)
+
+    def peek_all(self) -> list[IORequest]:
+        self._merge()
+        return [pair[1] for pair in self._q]
 
 
 class PriorityScheduler(Scheduler):
@@ -118,22 +326,22 @@ class PriorityScheduler(Scheduler):
     "the failed data is recovered and responded to user with a higher
     priority than other reconstruction I/Os".
 
-    One sorted queue per priority class; there are only a handful of
-    classes (0 for user reads, 10 for rebuild I/O), so the ``min`` over
-    class keys is effectively constant-time.
+    One sorted pair queue per priority class; there are only a handful
+    of classes (0 for user reads, 10 for rebuild I/O), so the ``min``
+    over class keys is effectively constant-time.
     """
 
     __slots__ = ("_classes", "_count")
 
     def __init__(self) -> None:
-        self._classes: dict[int, list[IORequest]] = {}
+        self._classes: dict[int, list[tuple[tuple[int, int], IORequest]]] = {}
         self._count = 0
 
     def add(self, request: IORequest) -> None:
         queue = self._classes.get(request.priority)
         if queue is None:
             queue = self._classes[request.priority] = []
-        insort(queue, request, key=_sort_key)
+        insort(queue, ((request.offset, request.req_id), request))
         self._count += 1
 
     def pop(self, head_position: int) -> IORequest:
@@ -141,14 +349,28 @@ class PriorityScheduler(Scheduler):
             raise IndexError("pop from empty scheduler")
         top = min(self._classes)
         queue = self._classes[top]
-        idx = bisect_left(queue, head_position, key=lambda r: r.offset)
+        idx = bisect_left(queue, ((head_position, -1),))
         if idx == len(queue):
             idx = 0
-        request = queue.pop(idx)
+        request = queue.pop(idx)[1]
         if not queue:
             del self._classes[top]
         self._count -= 1
         return request
+
+    def drain(self, head_position: int) -> list[IORequest]:
+        # with no arrivals, strict priority serves class 0 to empty,
+        # then class 1, ... — the head carries across class boundaries
+        out: list[IORequest] = []
+        for priority in sorted(self._classes):
+            chain = _cscan_drain(self._classes[priority], head_position)
+            out.extend(chain)
+            if chain:
+                last = chain[-1]
+                head_position = last.offset + last.size
+        self._classes.clear()
+        self._count = 0
+        return out
 
     def __len__(self) -> int:
         return self._count
@@ -159,4 +381,4 @@ class PriorityScheduler(Scheduler):
     def peek_all(self) -> list[IORequest]:
         # classes are separate queues, so this view is necessarily
         # assembled — still only built when diagnostics ask for it
-        return [r for p in sorted(self._classes) for r in self._classes[p]]
+        return [pair[1] for p in sorted(self._classes) for pair in self._classes[p]]
