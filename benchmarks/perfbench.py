@@ -129,6 +129,42 @@ def kernel_batch(n_ops: int) -> float:
     return _time(drive)
 
 
+def kernel_openloop_submit(n_arrivals: int) -> float:
+    """Open-loop arrival scheduling: ``submit_many_at`` fan-in and drain.
+
+    Generation is outside the timed region; the kernel prices turning a
+    pre-built arrival stream into timestamped OP_CALL submissions plus
+    the calendar drain that serves them — the serve tier's hot path.
+    """
+    import numpy as np
+
+    from repro.workloads.openloop import TenantSpec, open_arrivals
+
+    duration_s = 10.0
+    reads = open_arrivals(
+        8,
+        64,
+        duration_s,
+        (TenantSpec("bench", n_arrivals / duration_s, zipf_s=1.1),),
+        seed=0,
+    )
+    arr = ElementArray(
+        8, 4 * 1024 * 1024, DiskParameters.savvio_10k3(), ElevatorScheduler
+    )
+    batches = [
+        (t, [arr.element_request(r.i, (r.stripe * 8 + r.j) % 512, IOKind.READ)
+             for r in reads[k:k + 64]])
+        for k, t in ((k, reads[k].time) for k in range(0, len(reads), 64))
+    ]
+
+    def drive() -> None:
+        for t, reqs in batches:
+            arr.sim.submit_many_at(max(t, arr.sim.now), list(reqs))
+        arr.run()
+
+    return _time(drive)
+
+
 def kernel_calendar(n_requests: int, repeats: int) -> dict:
     """Run-phase heapq-vs-typed A/B on an identical pre-submitted workload.
 
@@ -362,6 +398,7 @@ def run_suite(tiny: bool, repeats: int) -> dict:
     scale = {
         "rebuild_stripes": 64 if tiny else 1024,
         "engine_requests": 2000 if tiny else 20000,
+        "openloop_arrivals": 2000 if tiny else 20000,
         "sweep_seeds": 4 if tiny else 16,
         "sweep_stripes": 4 if tiny else 12,
         "nemesis_days": 30.0 if tiny else 365.0,
@@ -388,6 +425,10 @@ def run_suite(tiny: bool, repeats: int) -> dict:
         lambda: kernel_batch(scale["engine_requests"])
     )
     print(f"  batch_submission  {kernels['batch_submission']:.3f} s")
+    kernels["openloop_submit"] = best(
+        lambda: kernel_openloop_submit(scale["openloop_arrivals"])
+    )
+    print(f"  openloop_submit   {kernels['openloop_submit']:.3f} s")
     calendar = kernel_calendar(scale["engine_requests"], repeats)
     kernels["calendar_heapq"] = calendar["heapq_s"]
     kernels["calendar_typed"] = calendar["typed_s"]

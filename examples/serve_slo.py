@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: keeping the p99 inside the SLO while a rebuild runs.
+
+A viewer population is open-loop: arrivals land on the wall clock no
+matter how busy the array is, and the queues absorb the difference —
+which is where tail latency lives.  This example serves the same
+seeded open-loop Poisson stream to both mirror arrangements while a
+failed disk rebuilds, then turns the rebuild-throttle knob and watches
+the tradeoff: a slower rebuild buys a smaller p99.
+
+Run::
+
+    python examples/serve_slo.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.raidsim import ServeConfig, compare_serve
+from repro.workloads import TenantSpec
+
+CONFIG = ServeConfig(
+    family="mirror",
+    n=5,
+    n_stripes=6,
+    seed=11,
+    deadline_s=0.2,
+    tenants=(TenantSpec("viewers", 30.0),),
+)
+
+
+def show(title: str, throttle: str) -> None:
+    cmp_ = compare_serve(dataclasses.replace(CONFIG, throttle=throttle))
+    print(f"\n{title} (throttle {throttle}):")
+    for r in (cmp_.traditional, cmp_.shifted):
+        s = r.slo
+        print(
+            f"  {r.layout_name:15s} rebuild {r.rebuild_makespan_s:5.2f} s | "
+            f"p50 {s.p50_s * 1e3:6.1f} ms  p99 {s.p99_s * 1e3:6.1f} ms | "
+            f"goodput {s.goodput_rps:5.1f}/s  misses {s.deadline_misses}"
+        )
+    print(f"  p99 ratio (trad/shifted): {cmp_.p99_ratio:.2f}x, "
+          f"rebuild speedup {cmp_.makespan_speedup:.2f}x")
+
+
+def main() -> None:
+    print("Open-loop serve under rebuild: the p99-vs-rebuild-time knob")
+    show("Full-speed rebuild", "none")
+    show("Token-bucket rebuild (5 IOs/s)", "token:5")
+    print(
+        "\nThe throttle slows the rebuild and shrinks the user p99 — and "
+        "the shifted arrangement needs less of the knob in the first "
+        "place, because replicas of the failed disk spread over all "
+        "surviving disks instead of queueing behind the rebuild stream."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -195,8 +195,9 @@ def _campaign_run_record(run) -> dict:
         "user_reads": {
             "served": run.online.n_user_reads,
             "failed": run.online.failed_user_reads,
-            "mean_latency_s": run.online.mean_user_latency_s,
-            "p95_latency_s": run.online.p95_user_latency_s,
+            # zero-sample aggregates are NaN -> null (the _finite contract)
+            "mean_latency_s": _finite(run.online.mean_user_latency_s),
+            "p95_latency_s": _finite(run.online.p95_user_latency_s),
         },
         "fault_stats": dataclasses.asdict(run.fault_stats),
     }
@@ -212,10 +213,23 @@ def _write_json(path: str, payload: dict) -> None:
 
 
 def _finite(x: float) -> float | None:
-    """Infinities become ``null`` so the JSON stays strictly parseable."""
+    """Non-finite floats become ``null`` so the JSON stays strictly parseable.
+
+    One contract, two renderings: ``inf`` (undefined ratio denominator)
+    and ``NaN`` (zero-sample aggregate) print as bare ``inf``/``nan``
+    in text output (see :func:`_ratio_text`) and as ``null`` in every
+    ``--json`` payload.  Documented in docs/workloads.md.
+    """
     import math
 
     return x if math.isfinite(x) else None
+
+
+def _ratio_text(x: float) -> str:
+    """Text rendering of a speedup ratio: ``1.23x``, or bare ``inf``/``nan``."""
+    import math
+
+    return f"{x:.2f}x" if math.isfinite(x) else str(x)
 
 
 def cmd_faultcampaign(args: argparse.Namespace) -> int:
@@ -280,8 +294,8 @@ def cmd_faultcampaign(args: argparse.Namespace) -> int:
             print(f"  mid-rebuild failures:  {list(s.mid_rebuild_failures)}")
     print(f"\navailability delta (shifted - traditional): "
           f"{cmp_.availability_delta:+.4f}")
-    print(f"user latency speedup:  {cmp_.latency_speedup:.2f}x")
-    print(f"rebuild speedup:       {cmp_.makespan_speedup:.2f}x")
+    print(f"user latency speedup:  {_ratio_text(cmp_.latency_speedup)}")
+    print(f"rebuild speedup:       {_ratio_text(cmp_.makespan_speedup)}")
     if args.json:
         from .nemesis import timeline_from_plan
 
@@ -299,6 +313,102 @@ def cmd_faultcampaign(args: argparse.Namespace) -> int:
             "latency_speedup": _finite(cmp_.latency_speedup),
             "makespan_speedup": _finite(cmp_.makespan_speedup),
             "active_fault_timeline": timeline_from_plan(plan, horizon).to_dict(),
+            "metrics": default_registry().snapshot(),
+        })
+    return 0
+
+
+def _parse_tenant(spec: str):
+    """``NAME:RATE[:PROCESS[:ZIPF]]`` → :class:`TenantSpec`."""
+    from .workloads.openloop import TenantSpec
+
+    parts = spec.split(":")
+    if len(parts) < 2 or len(parts) > 4:
+        raise ValueError(
+            f"malformed tenant spec {spec!r} (expected NAME:RATE[:PROCESS[:ZIPF]])"
+        )
+    name, rate = parts[0], float(parts[1])
+    process = parts[2] if len(parts) > 2 else "poisson"
+    zipf_s = float(parts[3]) if len(parts) > 3 else 0.0
+    return TenantSpec(name, rate_per_s=rate, process=process, zipf_s=zipf_s)
+
+
+def _serve_result_record(r) -> dict:
+    return {
+        "layout": r.layout_name,
+        "rebuild_makespan_s": r.rebuild_makespan_s,
+        "rebuild_verified": r.rebuild_verified,
+        "n_arrivals": r.n_arrivals,
+        "degraded_reads": r.degraded_reads,
+        "failed_reads": r.failed_reads,
+        "availability": r.availability,
+        "throttle": r.throttle,
+        # SLOSummary.to_dict applies the same non-finite -> null
+        # coercion as _finite
+        "slo": r.slo.to_dict(),
+    }
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import default_registry
+    from .raidsim.serve import ServeConfig, compare_serve
+
+    tenants = (
+        tuple(_parse_tenant(s) for s in args.tenant) if args.tenant else None
+    )
+    cfg = ServeConfig(
+        family=args.family,
+        n=args.n,
+        n_stripes=args.stripes,
+        failed_disk=args.failed,
+        seed=args.seed,
+        rate_per_s=args.rate,
+        process=args.process,
+        zipf_s=args.zipf,
+        diurnal_amplitude=args.diurnal_amplitude,
+        tenants=tenants,
+        duration_factor=args.duration_factor,
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms is not None else None,
+        throttle=args.throttle,
+    )
+    cmp_ = compare_serve(cfg)
+    trad, shift = cmp_.traditional, cmp_.shifted
+    print(f"Open-loop serve (seed {args.seed}) on {args.family} at n={args.n}:")
+    print(f"  {trad.n_arrivals} arrivals over {trad.slo.duration_s:.3f} s "
+          f"({args.process}, throttle {args.throttle})")
+    for r in (trad, shift):
+        s = r.slo
+        print(f"\n{r.layout_name}:")
+        print(f"  rebuild makespan:   {r.rebuild_makespan_s:.3f} s "
+              f"(verified: {r.rebuild_verified})")
+        print(f"  served:             {s.served}/{r.n_arrivals} "
+              f"({r.degraded_reads} degraded, {r.failed_reads} failed)")
+        # NaN aggregates (nothing served) print as bare nan — the
+        # text half of the _finite contract
+        print(f"  latency p50/p99/p999: {s.p50_s * 1e3:.1f} / "
+              f"{s.p99_s * 1e3:.1f} / {s.p999_s * 1e3:.1f} ms")
+        print(f"  goodput:            {s.goodput_rps:.1f} reads/s")
+        if cfg.deadline_s is not None:
+            print(f"  deadline misses:    {s.deadline_misses} "
+                  f"(deadline {cfg.deadline_s * 1e3:.0f} ms)")
+        if len(s.per_tenant_served) > 1:
+            mix = ", ".join(f"{t}={c}" for t, c in s.per_tenant_served)
+            print(f"  per tenant:         {mix}")
+    print(f"\np99 ratio (trad/shifted): {_ratio_text(cmp_.p99_ratio)}")
+    print(f"rebuild speedup:          {_ratio_text(cmp_.makespan_speedup)}")
+    if args.json:
+        _write_json(args.json, {
+            "kind": "serve",
+            "family": args.family,
+            "n": args.n,
+            "seed": args.seed,
+            "process": args.process,
+            "throttle": args.throttle,
+            "duration_s": trad.slo.duration_s,
+            "traditional": _serve_result_record(trad),
+            "shifted": _serve_result_record(shift),
+            "p99_ratio": _finite(cmp_.p99_ratio),
+            "makespan_speedup": _finite(cmp_.makespan_speedup),
             "metrics": default_registry().snapshot(),
         })
     return 0
@@ -415,14 +525,13 @@ def _faultcampaign_sweep(args: argparse.Namespace) -> int:
     print(f"{'seed':>6} {'avail Δ':>9} {'latency':>9} {'survival T/S':>14}")
     for p in sweep.points:
         c = p.comparison
-        lat = (f"{c.latency_speedup:.2f}x"
-               if c.latency_speedup != float("inf") else "inf")
+        lat = _ratio_text(c.latency_speedup)
         print(f"{p.seed_index:>6} {c.availability_delta:>+9.4f} {lat:>9} "
               f"{c.traditional.data_survival:>6.3f}/{c.shifted.data_survival:.3f}")
     worst_t, worst_s = sweep.worst_data_survival
     print(f"\nshifted served more reads in {sweep.shifted_wins}/{len(sweep)} storms")
     print(f"mean availability delta: {sweep.mean_availability_delta:+.4f}")
-    print(f"mean latency speedup:    {sweep.mean_latency_speedup:.2f}x")
+    print(f"mean latency speedup:    {_ratio_text(sweep.mean_latency_speedup)}")
     print(f"worst data survival:     traditional {worst_t:.4f}, "
           f"shifted {worst_s:.4f}")
     if args.json:
@@ -628,6 +737,44 @@ def _parser() -> argparse.ArgumentParser:
                         "(per-run FaultStats + metrics snapshot) to FILE")
     _add_obs_args(p)
     p.set_defaults(func=cmd_faultcampaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="open-loop traffic during rebuild, with SLO accounting",
+    )
+    p.add_argument("--family", default="mirror",
+                   choices=["mirror", "mirror-parity", "three-mirror"],
+                   help="architecture family (traditional vs shifted variant)")
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--failed", type=int, default=0, help="failed disk")
+    p.add_argument("--stripes", type=int, default=12)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--rate", type=float, default=40.0,
+                   help="mean arrivals per second (single-tenant shorthand)")
+    p.add_argument("--process", default="poisson", choices=["poisson", "bursty"],
+                   help="arrival process (single-tenant shorthand)")
+    p.add_argument("--zipf", type=float, default=0.0,
+                   help="zipf exponent for stripe popularity (0 = uniform)")
+    p.add_argument("--diurnal-amplitude", type=float, default=0.0,
+                   help="sinusoidal load-curve amplitude in [0, 1); the "
+                        "period defaults to the serve window")
+    p.add_argument("--tenant", action="append", metavar="NAME:RATE[:PROCESS[:ZIPF]]",
+                   help="add a tenant to the mix (repeatable; overrides the "
+                        "single-tenant shorthand flags)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="SLO deadline; reads completing later count as "
+                        "misses and leave the goodput")
+    p.add_argument("--throttle", default="none",
+                   metavar="none|fixed:S|token:IOPS|latency:P99_MS",
+                   help="rebuild throttling policy (see docs/workloads.md)")
+    p.add_argument("--duration-factor", type=float, default=1.5,
+                   help="serve window as a multiple of the slower "
+                        "arrangement's clean rebuild makespan")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the machine-readable comparison "
+                        "(SLO summaries + metrics snapshot) to FILE")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "nemesis",

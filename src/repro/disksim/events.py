@@ -349,6 +349,22 @@ class Simulation:
             raise ValueError(f"cannot submit in the past ({time} < {self.now})")
         self.schedule_call(time - self.now, self.submit, request, callback)
 
+    def submit_many_at(
+        self, time: float, requests, callback: Callback | None = None
+    ) -> None:
+        """Submit a pre-built batch at an absolute future simulation time.
+
+        The open-loop arrival primitive: the batch lands on the disks at
+        its arrival instant regardless of what is still in flight — no
+        completion backpressure — and drains through
+        :meth:`submit_many`.  Arrival scheduling rides the calendar's
+        ``OP_CALL`` path, so interleaved completions keep their
+        deterministic (time, seq) order.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot submit in the past ({time} < {self.now})")
+        self.schedule_call(time - self.now, self.submit_many, requests, callback)
+
     # ------------------------------------------------------------------
     def _start_next(self, server: _DiskServer) -> None:
         if server.busy or not server.scheduler:

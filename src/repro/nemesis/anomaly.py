@@ -19,6 +19,7 @@ daemon exists to surface — and fails the campaign.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..obs import RollingBaseline, default_registry
@@ -197,6 +198,10 @@ class AnomalyDetector:
             raise ValueError(f"metric {metric!r} is not on the watchlist")
         baseline = self._baselines[metric]
         self._n_samples += 1
+        if math.isnan(value):
+            # zero-sample aggregates are NaN by contract ("nothing was
+            # measured"): abstain — not an excursion, never baseline food
+            return None
         active = self.timeline.active_at(t_s, self.margin_s)
         if quiet is None:
             quiet = not active

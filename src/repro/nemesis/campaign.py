@@ -337,7 +337,10 @@ def _probe_tick(
     else:
         latencies, n_failed = _read_probe(ctrl, reads)
         served = len(latencies)
-        latency = float(np.mean(latencies)) if latencies else 0.0
+        # NaN, not 0.0, when the probe served nothing — the same
+        # zero-sample contract as OnlineResult; _feed_detector gates on
+        # sample.served so the detector never eats it
+        latency = float(np.mean(latencies)) if latencies else float("nan")
     span = ctrl.array.now
     throughput = served / span if span > 0 else 0.0
     return TickSample(
@@ -469,15 +472,17 @@ def _run_arrangement(
         role=role,
         n_ticks=len(mine),
         availability=availability,
+        # zero-sample aggregates are NaN (never 0.0) — same contract as
+        # OnlineResult; only reachable when every tick served nothing
         mean_latency_s=(
             float(np.mean([s.user_latency_s for s in with_reads]))
             if with_reads
-            else 0.0
+            else float("nan")
         ),
         mean_throughput_rps=(
             float(np.mean([s.read_throughput_rps for s in with_reads]))
             if with_reads
-            else 0.0
+            else float("nan")
         ),
         rebuild_ticks=sum(1 for s in mine if s.degraded),
         attribution=detector.report(),

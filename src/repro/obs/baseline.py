@@ -22,6 +22,7 @@ can never teach the baseline that its own degradation is normal.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 __all__ = ["RollingBaseline"]
@@ -72,8 +73,15 @@ class RollingBaseline:
         return var**0.5 if var > 0.0 else 0.0
 
     def update(self, value: float) -> None:
-        """Admit a quiet-period sample into the window."""
+        """Admit a quiet-period sample into the window.
+
+        Non-finite samples are rejected: a single NaN would poison the
+        running sums for the lifetime of the window (NaN means "no
+        measurement" — callers abstain instead of feeding it).
+        """
         value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"baseline samples must be finite, got {value}")
         if len(self._samples) == self._samples.maxlen:
             old = self._samples[0]
             self._sum -= old

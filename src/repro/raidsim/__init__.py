@@ -29,6 +29,14 @@ from .controller import (
 from .degraded import DegradedArray, DegradedStats
 from .reconstruction import OnlineReconstruction, OnlineResult, degraded_read_sources
 from .scrub import ScrubReport, Scrubber
+from .serve import (
+    ServeComparison,
+    ServeConfig,
+    ServeResult,
+    compare_serve,
+    run_serve,
+    serve_arrivals,
+)
 from .writes import WritePoint, measure_write_throughput, write_series
 
 __all__ = [
@@ -55,6 +63,12 @@ __all__ = [
     "OnlineReconstruction",
     "OnlineResult",
     "degraded_read_sources",
+    "ServeConfig",
+    "ServeResult",
+    "ServeComparison",
+    "serve_arrivals",
+    "run_serve",
+    "compare_serve",
     "Scrubber",
     "ScrubReport",
     "DegradedArray",

@@ -85,13 +85,21 @@ class CampaignComparison:
 
     @property
     def latency_speedup(self) -> float:
-        """Traditional over shifted mean user latency (>1 favours shifted)."""
-        if self.shifted.online.mean_user_latency_s <= 0:
+        """Traditional over shifted mean user latency (>1 favours shifted).
+
+        ``inf`` when the shifted side's mean is zero (it served for
+        free); ``NaN`` when either side served no reads at all, since
+        zero-sample latency means are ``NaN`` and no ratio is defined.
+        Text output renders these as bare ``inf``/``nan``; ``--json``
+        coerces them to ``null`` (the ``_finite`` contract).
+        """
+        t = self.traditional.online.mean_user_latency_s
+        s = self.shifted.online.mean_user_latency_s
+        if math.isnan(t) or math.isnan(s):
+            return float("nan")
+        if s <= 0:
             return float("inf")
-        return (
-            self.traditional.online.mean_user_latency_s
-            / self.shifted.online.mean_user_latency_s
-        )
+        return t / s
 
     @property
     def makespan_speedup(self) -> float:

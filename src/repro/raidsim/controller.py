@@ -25,7 +25,7 @@ throughput experiments pin down one specific logical case.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -57,6 +57,9 @@ from ..disksim.scheduler import ElevatorScheduler, Scheduler
 from ..disksim.trace import TraceStats
 from ..workloads.film import DEFAULT_PAYLOAD_BYTES, FilmSource
 from ..workloads.generator import WriteOp
+
+if TYPE_CHECKING:
+    from ..workloads.openloop import RebuildThrottle
 
 __all__ = [
     "RaidController",
@@ -648,7 +651,7 @@ class RaidController:
         window: int = 4,
         verify: bool = True,
         write_spare: bool = False,
-        throttle_delay_s: float = 0.0,
+        throttle_delay_s: "float | RebuildThrottle" = 0.0,
         resume_from: RebuildCheckpoint | None = None,
     ) -> RebuildResult:
         """Reconstruct the failed *physical* disks across every stripe.
@@ -664,10 +667,16 @@ class RaidController:
 
         ``throttle_delay_s`` inserts a pause before each stripe's reads
         — the classic rebuild-rate limit (md's ``speed_limit``) that
-        trades reconstruction time for user-I/O headroom.  The paper
-        notes its arrangement is *orthogonal* to such reconstruction
-        optimisations [10, 11]; ``benchmarks/bench_ablation_throttle.py``
-        measures exactly that interaction.
+        trades reconstruction time for user-I/O headroom.  It may be a
+        fixed delay in seconds, or any policy object exposing
+        ``delay_s(now, n_ios) -> float`` (consulted per stripe, so
+        feedback policies see the live clock): see
+        :class:`~repro.workloads.openloop.TokenBucketThrottle` and
+        :class:`~repro.workloads.openloop.LatencyTargetThrottle`.  The
+        paper notes its arrangement is *orthogonal* to such
+        reconstruction optimisations [10, 11];
+        ``benchmarks/bench_ablation_throttle.py`` measures exactly that
+        interaction.
 
         With a fault plan active, reads run under the retry policy, and
         a disk that dies mid-rebuild enlarges the failure set on the
@@ -851,7 +860,7 @@ class RaidController:
         window: int,
         write_spare: bool,
         spare_of,
-        throttle_delay_s: float,
+        throttle_delay_s: "float | RebuildThrottle",
         counting: bool,
     ) -> int:
         """One phased rebuild sweep of ``stripes`` for failure set ``fset``.
@@ -863,6 +872,9 @@ class RaidController:
         """
         fset = tuple(sorted(fset))
         dead_before = len(self._dead_disks)
+        # policy objects are consulted per stripe (they see the live
+        # clock); a bare float is the fixed md-style rate limit
+        throttle_fn = getattr(throttle_delay_s, "delay_s", None)
 
         plans: dict[int, ReconstructionPlan] = {}
         phase_lists: dict[int, list[RebuildPhase]] = {}
@@ -1017,8 +1029,13 @@ class RaidController:
                 def submit() -> None:
                     self._submit_reads_with_retry(reads, "rebuild", on_settled)
 
-                if throttle_delay_s > 0:
-                    self.array.sim.schedule(throttle_delay_s, submit)
+                delay = (
+                    throttle_fn(self.array.now, len(reads))
+                    if throttle_fn is not None
+                    else throttle_delay_s
+                )
+                if delay > 0:
+                    self.array.sim.schedule(delay, submit)
                 else:
                     submit()
 

@@ -46,8 +46,15 @@ class DegradedStats:
 
     @property
     def mean_read_latency_s(self) -> float:
+        """Mean service latency; ``NaN`` when no reads were served.
+
+        Zero would be indistinguishable from a genuine zero-latency
+        collapse, so an empty sample set answers "no measurement", not
+        "instant" — JSON emitters coerce it to ``null`` and the anomaly
+        detector abstains on it.
+        """
         if not self.read_latencies_s:
-            return 0.0
+            return float("nan")
         return float(np.mean(self.read_latencies_s))
 
 

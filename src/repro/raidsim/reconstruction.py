@@ -45,6 +45,9 @@ class OnlineResult:
 
     rebuild: RebuildResult
     n_user_reads: int
+    #: latency aggregates are ``NaN`` when no reads completed — an
+    #: empty sample set is "no measurement", never a zero-latency
+    #: collapse (JSON emitters coerce NaN to ``null``)
     mean_user_latency_s: float
     p95_user_latency_s: float
     max_user_latency_s: float
@@ -115,7 +118,19 @@ class OnlineReconstruction:
     failed_disks:
         Physical disks to fail and rebuild.
     user_reads:
-        The :func:`~repro.workloads.generator.user_read_stream` arrivals.
+        The :func:`~repro.workloads.generator.user_read_stream` arrivals
+        (or any sorted-by-time iterable of
+        :class:`~repro.workloads.generator.UserRead`, e.g. the open-loop
+        streams of :mod:`repro.workloads.openloop`).
+    throttle_delay_s:
+        Either a fixed pre-submit delay per rebuild stripe (seconds) or
+        a policy object with a ``delay_s(now, n_ios)`` method — see
+        :class:`~repro.workloads.openloop.TokenBucketThrottle` and
+        friends; forwarded to :meth:`RaidController.rebuild`.
+    on_latency:
+        Optional hook called as ``on_latency(read, latency_s)`` after
+        each user read settles — the serve tier feeds its SLO
+        accounting and latency-feedback throttles through this.
     """
 
     def __init__(
@@ -124,7 +139,8 @@ class OnlineReconstruction:
         failed_disks,
         user_reads: list[UserRead],
         window: int = 4,
-        throttle_delay_s: float = 0.0,
+        throttle_delay_s=0.0,
+        on_latency=None,
     ) -> None:
         for server in controller.array.sim.disks:
             if not isinstance(server.scheduler, PriorityScheduler):
@@ -137,6 +153,7 @@ class OnlineReconstruction:
         self.user_reads = sorted(user_reads, key=lambda r: r.time)
         self.window = window
         self.throttle_delay_s = throttle_delay_s
+        self.on_latency = on_latency
         self._latencies: list[float] = []
         self._degraded = 0
         self._failed_reads = 0
@@ -193,15 +210,21 @@ class OnlineReconstruction:
                                     priority=0,
                                 )
                                 return
-                        self._latencies.append(ctrl.array.now - t0)
+                        lat = ctrl.array.now - t0
+                        self._latencies.append(lat)
                         self._failed_reads += len(failed_reqs)
+                        if self.on_latency is not None:
+                            self.on_latency(read, lat)
 
                     ctrl._submit_reads_with_retry(
                         cells, "user", settled, priority=0
                     )
                 else:
                     def done() -> None:
-                        self._latencies.append(ctrl.array.now - t0)
+                        lat = ctrl.array.now - t0
+                        self._latencies.append(lat)
+                        if self.on_latency is not None:
+                            self.on_latency(read, lat)
 
                     ctrl.array.submit_elements(
                         cells, IOKind.READ, priority=0, tag="user", on_complete=done
@@ -217,13 +240,21 @@ class OnlineReconstruction:
         # settle user reads arriving after the rebuild's last event
         ctrl.array.run()
 
-        lat = np.array(self._latencies) if self._latencies else np.zeros(1)
+        if self._latencies:
+            lat = np.array(self._latencies)
+            mean_s = float(lat.mean())
+            p95_s = float(np.percentile(lat, 95))
+            max_s = float(lat.max())
+        else:
+            # no completed reads: the aggregates are NaN, not 0.0 — see
+            # the OnlineResult field comment
+            mean_s = p95_s = max_s = float("nan")
         return OnlineResult(
             rebuild=rebuild,
             n_user_reads=len(self._latencies),
-            mean_user_latency_s=float(lat.mean()),
-            p95_user_latency_s=float(np.percentile(lat, 95)),
-            max_user_latency_s=float(lat.max()),
+            mean_user_latency_s=mean_s,
+            p95_user_latency_s=p95_s,
+            max_user_latency_s=max_s,
             degraded_reads=self._degraded,
             fault_stats=rebuild.fault_stats,
             failed_user_reads=self._failed_reads,

@@ -1,0 +1,268 @@
+"""The serve tier: rebuild under open-loop traffic, judged by SLOs.
+
+The fault campaign (:mod:`repro.raidsim.campaign`) asks "how fast does
+each arrangement rebuild, and what latency did the probe reads see?".
+This tier asks the operator's question instead: *while* the rebuild
+runs, an open-loop population of viewers keeps arriving on the wall
+clock — what tail latency do they eat, how much goodput survives, and
+how much rebuild speed must be sacrificed (via a throttling policy) to
+keep the p99 inside the SLO?  Reported per arrangement, because the
+paper's whole point is that the shifted arrangement buys this tradeoff
+a better exchange rate.
+
+Everything is a pure function of :class:`ServeConfig` — frozen,
+picklable, seeded — so two same-config runs are bit-identical and
+:func:`compare_serve` can be shipped to a
+:class:`~repro.core.parallel.WorkerPool` worker as-is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.registry import build_layout, shifted_variant_name
+from ..disksim.array import DEFAULT_ELEMENT_SIZE
+from ..disksim.scheduler import PriorityScheduler
+from ..workloads.generator import UserRead
+from ..workloads.openloop import (
+    DiurnalCurve,
+    SLOAccountant,
+    SLOSummary,
+    TenantSpec,
+    make_throttle,
+    open_arrivals,
+)
+from .campaign import clean_rebuild_makespan
+from .controller import RaidController
+from .reconstruction import OnlineReconstruction
+
+__all__ = [
+    "ServeConfig",
+    "ServeResult",
+    "ServeComparison",
+    "serve_arrivals",
+    "run_serve",
+    "compare_serve",
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a serve run depends on — the whole experiment, frozen.
+
+    ``tenants`` overrides the single-tenant shorthand fields
+    (``rate_per_s`` / ``process`` / ``zipf_s``); leave it ``None`` to
+    serve one default tenant built from those.  ``diurnal_amplitude``
+    > 0 adds a sinusoidal load curve whose period defaults to the serve
+    window (one full peak-and-trough per run) unless
+    ``diurnal_period_s`` pins it.  ``throttle`` is a
+    :func:`~repro.workloads.openloop.make_throttle` spec string, kept
+    as a string precisely so the config stays picklable — each run
+    builds its own fresh policy instance.
+    """
+
+    family: str = "mirror"
+    n: int = 5
+    n_stripes: int = 12
+    failed_disk: int = 0
+    seed: int = 2012
+    rate_per_s: float = 40.0
+    process: str = "poisson"
+    zipf_s: float = 0.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float | None = None
+    tenants: tuple[TenantSpec, ...] | None = None
+    duration_factor: float = 1.5
+    deadline_s: float | None = None
+    window: int = 4
+    throttle: str = "none"
+    element_size: int = DEFAULT_ELEMENT_SIZE
+    payload_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.duration_factor <= 0:
+            raise ValueError(
+                f"duration_factor must be positive, got {self.duration_factor}"
+            )
+        # fail fast on a bad spec string — before any simulation runs
+        make_throttle(self.throttle)
+
+    def tenant_mix(self) -> tuple[TenantSpec, ...]:
+        """The effective mix: explicit tenants, or the shorthand one."""
+        if self.tenants:
+            return tuple(self.tenants)
+        return (
+            TenantSpec(
+                "default",
+                rate_per_s=self.rate_per_s,
+                process=self.process,
+                zipf_s=self.zipf_s,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One arrangement's rebuild-under-traffic outcome."""
+
+    layout_name: str
+    slo: SLOSummary
+    rebuild_makespan_s: float
+    rebuild_verified: bool
+    n_arrivals: int
+    degraded_reads: int
+    failed_reads: int
+    #: fraction of completed reads that did not fail outright
+    availability: float
+    throttle: str
+
+
+@dataclass(frozen=True)
+class ServeComparison:
+    """Traditional vs shifted under the identical arrival stream."""
+
+    traditional: ServeResult
+    shifted: ServeResult
+
+    @property
+    def p99_ratio(self) -> float:
+        """Traditional p99 over shifted p99 (>1 favours shifted).
+
+        ``NaN`` when either side served nothing (the zero-sample
+        contract), ``inf`` when shifted's p99 is exactly zero.
+        """
+        t = self.traditional.slo.p99_s
+        s = self.shifted.slo.p99_s
+        if math.isnan(t) or math.isnan(s):
+            return float("nan")
+        if s <= 0:
+            return float("inf")
+        return t / s
+
+    @property
+    def makespan_speedup(self) -> float:
+        """Traditional over shifted rebuild makespan (>1 favours shifted)."""
+        s = self.shifted.rebuild_makespan_s
+        if s <= 0:
+            return float("inf")
+        return self.traditional.rebuild_makespan_s / s
+
+
+def serve_duration_s(config: ServeConfig) -> float:
+    """The serve window: ``duration_factor`` × the slower clean rebuild.
+
+    Sized off *both* arrangements (like the campaign's read window) so
+    traditional and shifted face the identical arrival stream.
+    """
+    sizing = dict(
+        failed_disks=(config.failed_disk,),
+        n_stripes=config.n_stripes,
+        element_size=config.element_size,
+        payload_bytes=config.payload_bytes,
+        window=config.window,
+    )
+    return config.duration_factor * max(
+        clean_rebuild_makespan(build_layout(config.family, config.n), **sizing),
+        clean_rebuild_makespan(
+            build_layout(shifted_variant_name(config.family), config.n), **sizing
+        ),
+    )
+
+
+def serve_arrivals(
+    config: ServeConfig, duration_s: float | None = None
+) -> list[UserRead]:
+    """The config's arrival stream — shared verbatim by both arrangements."""
+    if duration_s is None:
+        duration_s = serve_duration_s(config)
+    diurnal = None
+    if config.diurnal_amplitude > 0:
+        period = (
+            config.diurnal_period_s
+            if config.diurnal_period_s is not None
+            else duration_s
+        )
+        diurnal = DiurnalCurve(config.diurnal_amplitude, period)
+    return open_arrivals(
+        config.n,
+        config.n_stripes,
+        duration_s,
+        config.tenant_mix(),
+        diurnal=diurnal,
+        seed=config.seed,
+    )
+
+
+def run_serve(
+    layout_name: str,
+    arrivals: list[UserRead],
+    duration_s: float,
+    config: ServeConfig,
+) -> ServeResult:
+    """One arrangement through the open-loop serve scenario.
+
+    Builds a fresh controller and a fresh throttle policy (stateful —
+    never share one across arrangements), wires every completed read
+    into the :class:`~repro.workloads.openloop.SLOAccountant` and, when
+    the policy wants feedback, into its ``observe`` hook, then runs the
+    rebuild with the arrivals firing open-loop on the simulated clock.
+    """
+    ctrl = RaidController(
+        build_layout(layout_name, config.n),
+        n_stripes=config.n_stripes,
+        element_size=config.element_size,
+        scheduler_factory=PriorityScheduler,
+        payload_bytes=config.payload_bytes,
+    )
+    throttle = make_throttle(config.throttle)
+    slo = SLOAccountant(deadline_s=config.deadline_s)
+    observe = getattr(throttle, "observe", None)
+    sim = ctrl.array.sim
+
+    def on_latency(read: UserRead, latency_s: float) -> None:
+        slo.record(latency_s, tenant=read.tenant)
+        slo.observe_queue_depth(sim.pending_count())
+        if observe is not None:
+            observe(latency_s)
+
+    online = OnlineReconstruction(
+        ctrl,
+        (config.failed_disk,),
+        arrivals,
+        window=config.window,
+        throttle_delay_s=throttle,
+        on_latency=on_latency,
+    ).run()
+    slo.record_failure(online.failed_user_reads)
+    summary = slo.summary(duration_s)
+    served = summary.served
+    availability = 1.0 - online.failed_user_reads / served if served > 0 else 1.0
+    return ServeResult(
+        layout_name=layout_name,
+        slo=summary,
+        rebuild_makespan_s=online.rebuild.makespan_s,
+        rebuild_verified=online.rebuild.verified,
+        n_arrivals=len(arrivals),
+        degraded_reads=online.degraded_reads,
+        failed_reads=online.failed_user_reads,
+        availability=availability,
+        throttle=config.throttle,
+    )
+
+
+def compare_serve(config: ServeConfig) -> ServeComparison:
+    """Both arrangements under the identical open-loop storm.
+
+    Module-level and a pure function of the frozen config, so it is
+    WorkerPool-safe: a pool worker handed the config reproduces the
+    serial run bit for bit.
+    """
+    duration_s = serve_duration_s(config)
+    arrivals = serve_arrivals(config, duration_s)
+    return ServeComparison(
+        traditional=run_serve(config.family, arrivals, duration_s, config),
+        shifted=run_serve(
+            shifted_variant_name(config.family), arrivals, duration_s, config
+        ),
+    )

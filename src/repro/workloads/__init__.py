@@ -2,6 +2,18 @@
 
 from .film import DEFAULT_PAYLOAD_BYTES, FilmSource
 from .generator import UserRead, WriteOp, random_large_writes, user_read_stream
+from .openloop import (
+    DiurnalCurve,
+    FixedThrottle,
+    LatencyTargetThrottle,
+    RebuildThrottle,
+    SLOAccountant,
+    SLOSummary,
+    TenantSpec,
+    TokenBucketThrottle,
+    make_throttle,
+    open_arrivals,
+)
 from .persistence import (
     load_user_reads,
     load_write_ops,
@@ -16,6 +28,16 @@ __all__ = [
     "UserRead",
     "random_large_writes",
     "user_read_stream",
+    "TenantSpec",
+    "DiurnalCurve",
+    "open_arrivals",
+    "SLOSummary",
+    "SLOAccountant",
+    "RebuildThrottle",
+    "FixedThrottle",
+    "TokenBucketThrottle",
+    "LatencyTargetThrottle",
+    "make_throttle",
     "save_write_ops",
     "load_write_ops",
     "save_user_reads",

@@ -34,12 +34,18 @@ class WriteOp:
 
 @dataclass(frozen=True)
 class UserRead:
-    """One user read arriving at ``time`` for data element ``(i, j)``."""
+    """One user read arriving at ``time`` for data element ``(i, j)``.
+
+    ``tenant`` names the workload class that generated the read (empty
+    for single-tenant streams) — see
+    :class:`~repro.workloads.openloop.TenantSpec`.
+    """
 
     time: float
     stripe: int
     i: int
     j: int
+    tenant: str = ""
 
 
 def random_large_writes(
@@ -88,6 +94,10 @@ def user_read_stream(
         rng = np.random.default_rng(1)
     if rate_per_s <= 0:
         raise ValueError(f"rate must be positive, got {rate_per_s}")
+    if target_disk is not None and not 0 <= target_disk < n:
+        raise ValueError(
+            f"target_disk must be in [0, {n}), got {target_disk}"
+        )
     reads: list[UserRead] = []
     t = 0.0
     while True:

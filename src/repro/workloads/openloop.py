@@ -1,0 +1,578 @@
+"""Open-loop traffic: arrivals fire on the wall clock, not on completions.
+
+The closed-loop probe of :func:`~repro.workloads.generator.user_read_stream`
+answers "how fast is one read" — but the paper's availability claim is
+about what a *population* of viewers experiences while the rebuild
+runs, and a population does not slow down because the array is busy.
+This module models that: seeded arrival processes generate timestamped
+reads that are submitted at their arrival times regardless of
+completion backpressure (the queues absorb the difference, which is
+exactly where tail latency lives).
+
+Three independently composable axes:
+
+* **arrival process** — Poisson (memoryless) or on/off bursty (a
+  Markov-modulated Poisson process, the standard self-similar-ish
+  stand-in: exponential ON/OFF sojourns, arrivals only while ON at a
+  rate inflated so the long-run mean matches);
+* **diurnal curve** — a sinusoidal rate modulation applied by
+  Lewis–Shedler thinning, so load peaks and troughs inside the serve
+  window;
+* **popularity** — Zipfian film popularity over stripes (rank 0 = the
+  hottest title) with uniform element choice inside a stripe, or a
+  pinned ``target_disk`` for the §III adversarial case.
+
+Per-tenant mixes compose these: each :class:`TenantSpec` draws from its
+own :class:`numpy.random.SeedSequence` child, so a tenant can be added
+to the mix without perturbing any other tenant's stream — and the whole
+arrival list is a pure function of ``(spec, seed)``, bit-identical
+across processes (the WorkerPool bit-identity suite pins this).
+
+The module also owns the serve tier's **SLO accounting**
+(:class:`SLOAccountant`: streaming latency quantile gauges, goodput,
+queue depth — wired into :mod:`repro.obs` and thus the Prometheus
+endpoint) and the **rebuild throttling policies**
+(:class:`TokenBucketThrottle`, :class:`LatencyTargetThrottle`) that
+:meth:`repro.raidsim.controller.RaidController.rebuild` consults per
+stripe to trade rebuild speed against tail latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..obs import default_registry
+from .generator import UserRead
+
+__all__ = [
+    "TenantSpec",
+    "DiurnalCurve",
+    "open_arrivals",
+    "SLOSummary",
+    "SLOAccountant",
+    "RebuildThrottle",
+    "FixedThrottle",
+    "TokenBucketThrottle",
+    "LatencyTargetThrottle",
+    "make_throttle",
+]
+
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+
+
+# ----------------------------------------------------------------------
+# arrival processes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One workload class inside an open-loop mix.
+
+    ``zipf_s = 0`` spreads reads uniformly over stripes; larger
+    exponents concentrate them on the low-numbered (popular) titles.
+    ``target_disk`` pins every read to one data disk — the §III
+    adversarial stream — and is bounds-checked like
+    :func:`~repro.workloads.generator.user_read_stream`.  The bursty
+    process alternates exponential ON (``burst_on_s`` mean) and OFF
+    (``burst_off_s`` mean) sojourns; ``rate_per_s`` is always the
+    long-run mean rate.
+    """
+
+    name: str
+    rate_per_s: float
+    process: str = "poisson"
+    zipf_s: float = 0.0
+    target_disk: int | None = None
+    burst_on_s: float = 2.0
+    burst_off_s: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.rate_per_s <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_per_s}")
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.process!r} "
+                f"(expected one of {ARRIVAL_PROCESSES})"
+            )
+        if self.zipf_s < 0:
+            raise ValueError(f"zipf_s must be >= 0, got {self.zipf_s}")
+        if self.burst_on_s <= 0 or self.burst_off_s < 0:
+            raise ValueError("burst sojourn means must be positive")
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """Sinusoidal load modulation: ``1 + amplitude * sin(2πt/period + phase)``.
+
+    ``amplitude`` must sit in ``[0, 1)`` so the rate never goes
+    negative; the peak factor ``1 + amplitude`` is what the thinning
+    envelope uses.
+    """
+
+    amplitude: float = 0.5
+    period_s: float = 86_400.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(f"amplitude must be in [0, 1), got {self.amplitude}")
+        if self.period_s <= 0:
+            raise ValueError(f"period must be positive, got {self.period_s}")
+
+    @property
+    def peak_factor(self) -> float:
+        return 1.0 + self.amplitude
+
+    def factor(self, t: np.ndarray) -> np.ndarray:
+        """Rate multiplier at time(s) ``t`` (vectorized)."""
+        return 1.0 + self.amplitude * np.sin(
+            2.0 * np.pi * np.asarray(t) / self.period_s + self.phase
+        )
+
+
+def _homogeneous_arrivals(
+    rate_per_s: float, duration_s: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Poisson arrival instants in ``[0, duration_s)`` at a constant rate."""
+    chunk = max(16, int(rate_per_s * duration_s * 1.25) + 16)
+    times = np.empty(0, dtype=np.float64)
+    t = 0.0
+    while t < duration_s:
+        gaps = rng.exponential(1.0 / rate_per_s, size=chunk)
+        new = t + np.cumsum(gaps)
+        times = np.concatenate([times, new])
+        t = float(new[-1])
+    return times[times < duration_s]
+
+
+def _onoff_rate_fn(
+    spec: TenantSpec, duration_s: float, rng: np.random.Generator
+):
+    """Materialize the MMPP ON/OFF timeline; returns ``(rate(t), peak)``.
+
+    The ON-state rate is inflated by ``(on + off) / on`` so the
+    long-run mean over the alternating sojourns equals ``rate_per_s``.
+    """
+    on, off = spec.burst_on_s, spec.burst_off_s
+    burst_rate = spec.rate_per_s * (on + off) / on
+    edges = [0.0]
+    t = 0.0
+    while t < duration_s:
+        t += float(rng.exponential(on))  # ON sojourn
+        edges.append(min(t, duration_s))
+        t += float(rng.exponential(off))  # OFF sojourn
+        edges.append(min(t, duration_s))
+    bounds = np.array(edges[1:], dtype=np.float64)
+
+    def rate(times: np.ndarray) -> np.ndarray:
+        # even interval index (counting from 0) = ON
+        idx = np.searchsorted(bounds, times, side="right")
+        return np.where(idx % 2 == 0, burst_rate, 0.0)
+
+    return rate, burst_rate
+
+
+def _tenant_arrival_times(
+    spec: TenantSpec,
+    duration_s: float,
+    diurnal: DiurnalCurve | None,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One tenant's arrival instants via Lewis–Shedler thinning.
+
+    Candidates come from a homogeneous process at the joint peak rate
+    (process peak × diurnal peak); each survives with probability
+    ``rate(t) / peak``.  Everything is a pure function of the rng
+    stream, so the times are bit-reproducible.
+    """
+    if spec.process == "bursty":
+        rate_fn, peak = _onoff_rate_fn(spec, duration_s, rng)
+    else:
+        base = spec.rate_per_s
+        rate_fn, peak = (lambda t: np.full(np.shape(t), base)), base
+    if diurnal is not None:
+        inner = rate_fn
+        rate_fn = lambda t: inner(t) * diurnal.factor(t)  # noqa: E731
+        peak *= diurnal.peak_factor
+    candidates = _homogeneous_arrivals(peak, duration_s, rng)
+    accept = rng.random(candidates.size) * peak < rate_fn(candidates)
+    return candidates[accept]
+
+
+def _zipf_stripes(
+    n_stripes: int, s: float, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` stripe picks under a Zipf(s) popularity law (rank 0 hottest)."""
+    if s <= 0:
+        return rng.integers(0, n_stripes, size=count)
+    weights = (np.arange(1, n_stripes + 1, dtype=np.float64)) ** (-s)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(count), side="right")
+
+
+def open_arrivals(
+    n: int,
+    n_stripes: int,
+    duration_s: float,
+    tenants,
+    diurnal: DiurnalCurve | None = None,
+    seed: int = 0,
+) -> list[UserRead]:
+    """The merged open-loop arrival stream of a tenant mix.
+
+    Each tenant draws from its own :class:`numpy.random.SeedSequence`
+    child of ``seed`` (spawn order = tenant order), so streams are
+    independent and the merge is a pure function of
+    ``(n, n_stripes, duration_s, tenants, diurnal, seed)`` —
+    bit-identical in any process.  The merge sort is stable, so
+    same-instant arrivals keep tenant order.
+    """
+    tenants = tuple(tenants)
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"tenant names must be unique, got {names}")
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    for spec in tenants:
+        if spec.target_disk is not None and not 0 <= spec.target_disk < n:
+            raise ValueError(
+                f"target_disk must be in [0, {n}), got {spec.target_disk} "
+                f"(tenant {spec.name!r})"
+            )
+    reads: list[UserRead] = []
+    children = np.random.SeedSequence(seed).spawn(len(tenants))
+    for spec, child in zip(tenants, children):
+        rng = np.random.default_rng(child)
+        times = _tenant_arrival_times(spec, duration_s, diurnal, rng)
+        count = times.size
+        stripes = _zipf_stripes(n_stripes, spec.zipf_s, count, rng)
+        if spec.target_disk is None:
+            disks = rng.integers(0, n, size=count)
+        else:
+            disks = np.full(count, spec.target_disk, dtype=np.int64)
+        rows = rng.integers(0, n, size=count)
+        reads.extend(
+            UserRead(float(t), int(st), int(i), int(j), tenant=spec.name)
+            for t, st, i, j in zip(times, stripes, disks, rows)
+        )
+    reads.sort(key=lambda r: r.time)
+    return reads
+
+
+# ----------------------------------------------------------------------
+# SLO accounting
+# ----------------------------------------------------------------------
+
+#: streaming-estimate bucket bounds: 0.5 ms .. ~67 s, quarter-decades
+SLO_BUCKETS = tuple(float(0.0005 * 2**k) for k in range(18))
+
+
+@dataclass(frozen=True)
+class SLOSummary:
+    """What the users saw: exact percentiles, goodput, misses.
+
+    Latency aggregates are ``NaN`` when nothing completed (the
+    zero-sample contract shared with
+    :class:`~repro.raidsim.reconstruction.OnlineResult`); JSON emitters
+    coerce them to ``null``.  Percentiles are *exact* (sorted-sample),
+    not the streaming estimates the live gauges show — the summary is
+    the bit-reproducible artifact, the gauges are the mid-flight view.
+    """
+
+    served: int
+    failed: int
+    deadline_misses: int
+    duration_s: float
+    p50_s: float
+    p99_s: float
+    p999_s: float
+    mean_s: float
+    max_s: float
+    #: reads that met the deadline (all of them when no deadline is
+    #: set), per second of serve window
+    goodput_rps: float
+    per_tenant_served: tuple[tuple[str, int], ...] = ()
+
+    def to_dict(self) -> dict:
+        import math
+
+        def fin(x: float):
+            return x if math.isfinite(x) else None
+
+        return {
+            "served": self.served,
+            "failed": self.failed,
+            "deadline_misses": self.deadline_misses,
+            "duration_s": self.duration_s,
+            "p50_s": fin(self.p50_s),
+            "p99_s": fin(self.p99_s),
+            "p999_s": fin(self.p999_s),
+            "mean_s": fin(self.mean_s),
+            "max_s": fin(self.max_s),
+            "goodput_rps": self.goodput_rps,
+            "per_tenant_served": dict(self.per_tenant_served),
+        }
+
+
+class SLOAccountant:
+    """Streaming SLO accounting for one serve run.
+
+    Every completed read lands here: a latency histogram and per-tenant
+    counters go to :mod:`repro.obs` (hence the Prometheus endpoint),
+    and every ``gauge_every`` completions the live
+    ``serve.p50/p99/p999_latency_s`` gauges are refreshed from a
+    fixed-bucket streaming estimate (upper bucket bound — monotone,
+    deterministic, O(1) memory).  :meth:`summary` computes the final
+    exact percentiles from the retained samples.
+    """
+
+    def __init__(
+        self,
+        deadline_s: float | None = None,
+        registry=None,
+        gauge_every: int = 64,
+    ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline_s}")
+        self.deadline_s = deadline_s
+        self.gauge_every = max(1, gauge_every)
+        self._lat: list[float] = []
+        self._misses = 0
+        self._failed = 0
+        self._tenants: dict[str, int] = {}
+        self._bounds = np.array(SLO_BUCKETS)
+        self._counts = np.zeros(len(SLO_BUCKETS) + 1, dtype=np.int64)
+        reg = registry if registry is not None else default_registry()
+        self._obs_reads = reg.counter("serve.reads_total", "open-loop reads served")
+        self._obs_miss = reg.counter(
+            "serve.deadline_miss_total", "reads completing past the SLO deadline"
+        ).labels()
+        self._obs_hist = reg.histogram(
+            "serve.read_latency_s",
+            "arrival-to-completion latency of open-loop reads",
+            buckets=SLO_BUCKETS,
+        ).labels()
+        quant = reg.gauge(
+            "serve.latency_quantile_s",
+            "streaming latency quantile estimate (bucket upper bound)",
+        )
+        self._obs_q = {
+            0.50: quant.labels(q="0.5"),
+            0.99: quant.labels(q="0.99"),
+            0.999: quant.labels(q="0.999"),
+        }
+        self._obs_depth = reg.gauge(
+            "serve.queue_depth", "in-flight + queued requests at last completion"
+        ).labels()
+
+    @property
+    def served(self) -> int:
+        return len(self._lat)
+
+    def record(self, latency_s: float, tenant: str = "") -> None:
+        """Account one completed read."""
+        self._lat.append(latency_s)
+        self._tenants[tenant] = self._tenants.get(tenant, 0) + 1
+        self._counts[int(np.searchsorted(self._bounds, latency_s, side="left"))] += 1
+        self._obs_reads.inc(1.0, tenant=tenant or "all")
+        self._obs_hist.observe(latency_s)
+        if self.deadline_s is not None and latency_s > self.deadline_s:
+            self._misses += 1
+            self._obs_miss.inc()
+        if len(self._lat) % self.gauge_every == 0:
+            for q, gauge in self._obs_q.items():
+                gauge.set(self.streaming_quantile(q))
+
+    def record_failure(self, n: int = 1) -> None:
+        """Account reads that errored out after all retries."""
+        self._failed += n
+
+    def observe_queue_depth(self, depth: int) -> None:
+        self._obs_depth.set(depth)
+
+    def streaming_quantile(self, q: float) -> float:
+        """Bucketed quantile estimate: upper bound of the covering bucket."""
+        total = int(self._counts.sum())
+        if total == 0:
+            return float("nan")
+        cum = np.cumsum(self._counts)
+        idx = int(np.searchsorted(cum, q * total, side="left"))
+        if idx >= len(self._bounds):
+            return float(max(self._lat))
+        return float(self._bounds[idx])
+
+    def summary(self, duration_s: float) -> SLOSummary:
+        """The run's exact, bit-reproducible SLO verdict."""
+        served = len(self._lat)
+        if served:
+            lat = np.array(self._lat)
+            p50, p99, p999 = (
+                float(x) for x in np.percentile(lat, (50.0, 99.0, 99.9))
+            )
+            mean_s, max_s = float(lat.mean()), float(lat.max())
+        else:
+            p50 = p99 = p999 = mean_s = max_s = float("nan")
+        good = served - self._misses
+        return SLOSummary(
+            served=served,
+            failed=self._failed,
+            deadline_misses=self._misses,
+            duration_s=duration_s,
+            p50_s=p50,
+            p99_s=p99,
+            p999_s=p999,
+            mean_s=mean_s,
+            max_s=max_s,
+            goodput_rps=good / duration_s if duration_s > 0 else 0.0,
+            per_tenant_served=tuple(sorted(self._tenants.items())),
+        )
+
+
+# ----------------------------------------------------------------------
+# rebuild throttling / admission policies
+# ----------------------------------------------------------------------
+
+
+@runtime_checkable
+class RebuildThrottle(Protocol):
+    """What :meth:`RaidController.rebuild` consults before each stripe.
+
+    ``delay_s(now, n_ios)`` returns the pre-submit pause in seconds for
+    a stripe whose phase issues ``n_ios`` reads at simulated time
+    ``now``.  Policies with an ``observe(latency_s)`` method are fed
+    every completed user read by the serve tier (latency feedback).
+    """
+
+    def delay_s(self, now: float, n_ios: int = 1) -> float: ...
+
+
+@dataclass
+class FixedThrottle:
+    """The md ``speed_limit`` analogue: a constant pre-stripe pause."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+
+    def delay_s(self, now: float, n_ios: int = 1) -> float:
+        return self.delay
+
+
+class TokenBucketThrottle:
+    """Token bucket on rebuild I/O: at most ``ios_per_s`` sustained.
+
+    Each stripe's phase reads spend ``n_ios`` tokens; the bucket refills
+    at ``ios_per_s`` up to ``burst`` (default: one second's worth).
+    Debt is carried (tokens go negative), so the returned delay is
+    exactly the time until the spend is covered — the classic
+    rate-limit shape, deterministic given the call sequence.
+    """
+
+    def __init__(self, ios_per_s: float, burst: float | None = None) -> None:
+        if ios_per_s <= 0:
+            raise ValueError(f"ios_per_s must be positive, got {ios_per_s}")
+        self.ios_per_s = ios_per_s
+        self.burst = ios_per_s if burst is None else burst
+        if self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {self.burst}")
+        self._tokens = self.burst
+        self._last = 0.0
+
+    def delay_s(self, now: float, n_ios: int = 1) -> float:
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.ios_per_s)
+        self._tokens -= n_ios
+        if self._tokens >= 0.0:
+            return 0.0
+        return -self._tokens / self.ios_per_s
+
+
+class LatencyTargetThrottle:
+    """Latency-target feedback: back off the rebuild when p99 overshoots.
+
+    Keeps a window of recent user-read latencies (fed via
+    :meth:`observe`); each stripe consults the window's p99 and adapts
+    the pre-stripe delay multiplicatively — double on overshoot (capped
+    at ``max_delay_s``), halve on undershoot (floored back to zero) —
+    the AIMD-flavoured controller md users approximate by hand with
+    ``speed_limit_max``.  Deterministic given the observe/delay call
+    sequence.
+    """
+
+    def __init__(
+        self,
+        target_p99_s: float,
+        window: int = 128,
+        base_delay_s: float = 0.01,
+        max_delay_s: float = 1.0,
+    ) -> None:
+        if target_p99_s <= 0:
+            raise ValueError(f"target must be positive, got {target_p99_s}")
+        if not 0 < base_delay_s <= max_delay_s:
+            raise ValueError("need 0 < base_delay_s <= max_delay_s")
+        self.target_p99_s = target_p99_s
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self._recent: deque[float] = deque(maxlen=window)
+        self._delay = 0.0
+
+    def observe(self, latency_s: float) -> None:
+        self._recent.append(latency_s)
+
+    def delay_s(self, now: float, n_ios: int = 1) -> float:
+        if self._recent:
+            p99 = float(np.percentile(np.array(self._recent), 99.0))
+            if p99 > self.target_p99_s:
+                self._delay = min(
+                    self.max_delay_s, max(self.base_delay_s, self._delay * 2.0)
+                )
+            else:
+                half = self._delay / 2.0
+                self._delay = half if half >= self.base_delay_s else 0.0
+        return self._delay
+
+
+def make_throttle(spec: str):
+    """Build a fresh throttle from its CLI spec string.
+
+    ``none`` — no throttling (returns ``0.0``, the rebuild default);
+    ``fixed:SECONDS`` — :class:`FixedThrottle`;
+    ``token:IOS_PER_S`` — :class:`TokenBucketThrottle`;
+    ``latency:TARGET_P99_MS`` — :class:`LatencyTargetThrottle`.
+
+    Policies are stateful, so call this once per run — sharing one
+    instance across arrangements would leak state between them.
+    """
+    if spec == "none":
+        return 0.0
+    kind, sep, arg = spec.partition(":")
+    if not sep:
+        raise ValueError(
+            f"malformed throttle spec {spec!r} (expected KIND:VALUE or 'none')"
+        )
+    try:
+        value = float(arg)
+    except ValueError:
+        raise ValueError(f"throttle value {arg!r} is not a number") from None
+    if kind == "fixed":
+        return FixedThrottle(value)
+    if kind == "token":
+        return TokenBucketThrottle(value)
+    if kind == "latency":
+        return LatencyTargetThrottle(value / 1e3)
+    raise ValueError(
+        f"unknown throttle kind {kind!r} (expected fixed, token or latency)"
+    )

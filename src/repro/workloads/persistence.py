@@ -85,10 +85,10 @@ def save_user_reads(reads: Iterable[UserRead], path_or_file) -> int:
     try:
         count = 0
         for r in reads:
-            fh.write(
-                json.dumps({"time": r.time, "stripe": r.stripe, "i": r.i, "j": r.j})
-                + "\n"
-            )
+            record = {"time": r.time, "stripe": r.stripe, "i": r.i, "j": r.j}
+            if r.tenant:
+                record["tenant"] = r.tenant
+            fh.write(json.dumps(record) + "\n")
             count += 1
         return count
     finally:
@@ -113,6 +113,7 @@ def load_user_reads(path_or_file) -> list[UserRead]:
                         int(record["stripe"]),
                         int(record["i"]),
                         int(record["j"]),
+                        tenant=str(record.get("tenant", "")),
                     )
                 )
             except (KeyError, TypeError, ValueError) as exc:

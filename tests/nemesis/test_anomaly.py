@@ -138,3 +138,15 @@ def test_empty_report_has_full_coverage():
     rep.assert_invariant()
     d = rep.to_dict()
     assert d["n_unexplained"] == 0 and d["excursions"] == []
+
+
+def test_nan_sample_abstains_without_feeding_the_baseline():
+    """NaN = "nothing measured": no excursion, no baseline growth."""
+    det, _ = _detector()
+    _warm(det)
+    before_mean = det._baselines["lat"].mean
+    assert det.observe(50.0, "lat", float("nan")) is None
+    assert det._baselines["lat"].mean == before_mean
+    rep = det.report()
+    assert rep.n_excursions == 0
+    rep.assert_invariant()

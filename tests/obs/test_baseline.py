@@ -66,3 +66,14 @@ def test_validation():
     b.update(1.0)
     with pytest.raises(ValueError):
         b.is_excursion(1.0, direction="sideways")
+
+
+def test_non_finite_samples_are_rejected():
+    """Regression: one NaN used to poison the running sums forever."""
+    b = RollingBaseline(window=4, min_samples=2)
+    b.update(1.0)
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError, match="finite"):
+            b.update(bad)
+    b.update(3.0)
+    assert b.mean == pytest.approx(2.0)

@@ -178,3 +178,15 @@ def test_raid6_degraded_mode_not_supported():
     ctrl = _ctrl(RAID6Layout(4, "rdp"))
     with pytest.raises(NotImplementedError, match="mirror family"):
         DegradedArray(ctrl, [0])
+
+
+def test_degraded_stats_with_no_reads_are_nan():
+    """Regression: an idle episode used to report 0.0 mean latency."""
+    import math
+
+    from repro.raidsim.degraded import DegradedStats
+
+    stats = DegradedStats()
+    assert math.isnan(stats.mean_read_latency_s)
+    stats.read_latencies_s.append(0.25)
+    assert stats.mean_read_latency_s == pytest.approx(0.25)

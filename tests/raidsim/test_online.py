@@ -122,3 +122,16 @@ def test_user_reads_preempt_rebuild_io():
     res = OnlineReconstruction(ctrl, [0], reads, window=8).run()
     # without priority it would wait for ~all queued rebuild column reads
     assert res.max_user_latency_s < 1.5
+
+
+def test_empty_read_stream_reports_nan_latencies():
+    """Regression: zero-sample aggregates used to collapse to 0.0."""
+    import math
+
+    res = OnlineReconstruction(_ctrl(shifted_mirror(3)), [0], []).run()
+    assert res.n_user_reads == 0
+    assert math.isnan(res.mean_user_latency_s)
+    assert math.isnan(res.p95_user_latency_s)
+    assert math.isnan(res.max_user_latency_s)
+    # the rebuild itself is unaffected
+    assert res.rebuild.verified

@@ -289,3 +289,78 @@ def test_faultcampaign_rejects_bad_rate_gracefully(capsys):
     assert rc == 2
     assert captured.err.startswith("error: ")
     assert "transient rate" in captured.err
+
+
+def test_serve_command(capsys):
+    rc, out = run_cli(capsys, "serve", "--n", "4", "--stripes", "4",
+                      "--rate", "25", "--seed", "11", "--deadline-ms", "200")
+    assert rc == 0
+    assert "Open-loop serve (seed 11) on mirror at n=4:" in out
+    assert "mirror:" in out and "shifted-mirror:" in out
+    assert "latency p50/p99/p999:" in out
+    assert "goodput:" in out
+    assert "deadline misses:" in out
+    assert "p99 ratio (trad/shifted):" in out
+    assert "rebuild speedup:" in out
+
+
+def test_serve_json_output(capsys, tmp_path):
+    import json
+    import math
+
+    out_path = tmp_path / "serve.json"
+    rc, _ = run_cli(capsys, "serve", "--n", "4", "--stripes", "4",
+                    "--rate", "25", "--seed", "11", "--throttle", "token:20",
+                    "--json", str(out_path))
+    assert rc == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["kind"] == "serve"
+    assert doc["throttle"] == "token:20"
+    for side in ("traditional", "shifted"):
+        slo = doc[side]["slo"]
+        assert slo["served"] > 0
+        for q in ("p50_s", "p99_s", "p999_s"):
+            assert slo[q] is not None and math.isfinite(slo[q])
+        assert doc[side]["rebuild_makespan_s"] > 0
+    assert "counters" in doc["metrics"]
+
+
+def test_serve_multi_tenant_and_bad_specs(capsys):
+    rc, out = run_cli(capsys, "serve", "--n", "4", "--stripes", "4", "--seed", "3",
+                      "--tenant", "vod:20:poisson:1.1", "--tenant", "batch:5:bursty")
+    assert rc == 0
+    assert "per tenant:" in out and "vod=" in out and "batch=" in out
+    rc, _ = run_cli(capsys, "serve", "--n", "4", "--tenant", "broken")
+    assert rc == 2
+    rc, _ = run_cli(capsys, "serve", "--n", "4", "--throttle", "warp:9")
+    assert rc == 2
+
+
+def test_latency_speedup_inf_and_nan_contract(capsys, tmp_path, monkeypatch):
+    """One contract, two renderings: text prints bare inf/nan, JSON nulls."""
+    import dataclasses
+    import json
+
+    import repro.raidsim.campaign as campaign_mod
+
+    real = campaign_mod.compare_arrangements
+
+    def rig(mean):
+        def rigged(*args, **kw):
+            cmp_ = real(*args, **kw)
+            online = dataclasses.replace(
+                cmp_.shifted.online, mean_user_latency_s=mean
+            )
+            shifted = dataclasses.replace(cmp_.shifted, online=online)
+            return dataclasses.replace(cmp_, shifted=shifted)
+        return rigged
+
+    for mean, text in ((0.0, "inf"), (float("nan"), "nan")):
+        monkeypatch.setattr(campaign_mod, "compare_arrangements", rig(mean))
+        out_path = tmp_path / f"c-{text}.json"
+        rc, out = run_cli(capsys, "faultcampaign", "--family", "mirror",
+                          "--n", "3", "--stripes", "4",
+                          "--second-failure-at", "0", "--json", str(out_path))
+        assert rc == 0
+        assert f"user latency speedup:  {text}" in out
+        assert json.loads(out_path.read_text())["latency_speedup"] is None

@@ -72,6 +72,15 @@ def test_fault_campaign():
 
 
 @pytest.mark.slow
+def test_serve_slo():
+    out = _run("serve_slo.py")
+    assert "Full-speed rebuild (throttle none):" in out
+    assert "Token-bucket rebuild (5 IOs/s) (throttle token:5):" in out
+    assert "p99 ratio (trad/shifted):" in out
+    assert "shrinks the user p99" in out
+
+
+@pytest.mark.slow
 def test_nemesis_campaign():
     out = _run("nemesis_campaign.py", "2")
     assert "the daemon drew" in out

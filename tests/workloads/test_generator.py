@@ -96,3 +96,14 @@ def test_user_read_is_frozen():
     r = UserRead(1.0, 0, 1, 2)
     with pytest.raises(AttributeError):
         r.time = 2.0
+
+
+def test_target_disk_out_of_range_is_rejected():
+    """Regression: out-of-range targets used to generate unreadable reads."""
+    for bad in (-1, 4, 99):
+        with pytest.raises(ValueError, match=r"target_disk must be in \[0, 4\)"):
+            user_read_stream(4, 4, 1.0, 10.0, target_disk=bad)
+    # boundary values stay legal
+    assert all(
+        r.i == 3 for r in user_read_stream(4, 4, 1.0, 10.0, target_disk=3)
+    )
