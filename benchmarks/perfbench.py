@@ -27,10 +27,15 @@ Kernels:
 * ``campaign_parallel``   — the same sweep fanned over every core
 * ``campaign_pooled``     — the same sweep on a persistent ``WorkerPool``
                             with a shared-memory film block
-* ``obs_overhead``        — the engine kernel under four observability
+* ``obs_overhead``        — the engine kernel under five observability
                             configurations: a hook-free engine subclass
                             (``bare``), the real engine with the null
-                            sink (``REPRO_OBS=0``), fully instrumented,
+                            sink (``REPRO_OBS=0``, with a flight
+                            recorder *installed but gated off* — the
+                            gate proves it is ignored), fully
+                            instrumented, instrumented with a live
+                            ``TimelineRecorder`` folding per-request
+                            latency windows (``engine_timeseries``),
                             and instrumented with a streaming JSONL
                             trace sink draining to disk
 
@@ -326,21 +331,30 @@ def kernel_obs_overhead(n_requests: int, repeats: int) -> dict:
 
     import numpy as np
 
-    from repro.obs import JsonlTraceSink, Tracer, set_default_tracer, set_obs_enabled
+    from repro.obs import (
+        JsonlTraceSink,
+        TimelineRecorder,
+        Tracer,
+        set_default_recorder,
+        set_default_tracer,
+        set_obs_enabled,
+    )
 
     element = 4 * 1024 * 1024
     rng = np.random.default_rng(0)
     disks = [int(d) for d in rng.integers(0, 8, size=n_requests)]
     offsets = [int(o) * element for o in rng.integers(0, 512, size=n_requests)]
 
-    def drive(sim_cls, enabled: bool, tracer=None) -> float:
+    def drive(sim_cls, enabled: bool, tracer=None, recorder=None) -> float:
         from repro.disksim.request import IORequest
 
         old = set_obs_enabled(enabled)
         old_tracer = set_default_tracer(tracer)
+        old_recorder = set_default_recorder(recorder)
         try:
             sim = sim_cls(8, DiskParameters.savvio_10k3(), ElevatorScheduler)
         finally:
+            set_default_recorder(old_recorder)
             set_default_tracer(old_tracer)
             set_obs_enabled(old)
 
@@ -367,24 +381,42 @@ def kernel_obs_overhead(n_requests: int, repeats: int) -> dict:
     # interleave the configs within each round: sequential blocks bias
     # the comparison (warm-up and CPU frequency drift land entirely on
     # whichever config runs first), which at a 2% threshold drowns the
-    # signal being gated
-    bare, null, instrumented, streaming = [], [], [], []
+    # signal being gated.  The null config keeps a flight recorder
+    # *installed* — the gate must hold with one present, because
+    # REPRO_OBS=0 is contracted to skip it at construction.
+    bare, null, instrumented, timeseries, streaming = [], [], [], [], []
     for _ in range(repeats):
         bare.append(drive(_BareSimulation, enabled=False))
-        null.append(drive(Simulation, enabled=False))
+        null.append(
+            drive(
+                Simulation,
+                enabled=False,
+                recorder=TimelineRecorder(registry=False),
+            )
+        )
         instrumented.append(drive(Simulation, enabled=True))
+        timeseries.append(
+            drive(
+                Simulation,
+                enabled=True,
+                recorder=TimelineRecorder(registry=False),
+            )
+        )
         streaming.append(drive_streaming())
     bare_s = min(bare)
     null_s = min(null)
     instrumented_s = min(instrumented)
+    timeseries_s = min(timeseries)
     streaming_s = min(streaming)
     return {
         "bare_s": bare_s,
         "null_s": null_s,
         "instrumented_s": instrumented_s,
+        "timeseries_s": timeseries_s,
         "streaming_s": streaming_s,
         "null_overhead": null_s / max(bare_s, 1e-9) - 1.0,
         "instrumented_overhead": instrumented_s / max(bare_s, 1e-9) - 1.0,
+        "timeseries_overhead": timeseries_s / max(bare_s, 1e-9) - 1.0,
         "streaming_overhead": streaming_s / max(bare_s, 1e-9) - 1.0,
     }
 
@@ -458,11 +490,14 @@ def run_suite(tiny: bool, repeats: int) -> dict:
     kernels["engine_bare"] = obs["bare_s"]
     kernels["engine_nullsink"] = obs["null_s"]
     kernels["engine_instrumented"] = obs["instrumented_s"]
+    kernels["engine_timeseries"] = obs["timeseries_s"]
     kernels["engine_streaming"] = obs["streaming_s"]
     print(f"  obs_overhead      bare {obs['bare_s']:.3f} s, "
           f"null {obs['null_s']:.3f} s ({obs['null_overhead']:+.1%}), "
           f"instrumented {obs['instrumented_s']:.3f} s "
           f"({obs['instrumented_overhead']:+.1%}), "
+          f"timeseries {obs['timeseries_s']:.3f} s "
+          f"({obs['timeseries_overhead']:+.1%}), "
           f"streaming {obs['streaming_s']:.3f} s "
           f"({obs['streaming_overhead']:+.1%})")
 
@@ -470,6 +505,7 @@ def run_suite(tiny: bool, repeats: int) -> dict:
         "calendar_speedup": calendar["speedup"],
         "obs_null_overhead": obs["null_overhead"],
         "obs_instrumented_overhead": obs["instrumented_overhead"],
+        "obs_timeseries_overhead": obs["timeseries_overhead"],
         "obs_streaming_overhead": obs["streaming_overhead"],
         "plan_cache_speedup": kernels["rebuild_nocache"]
         / max(kernels["rebuild_cached"], 1e-9),
@@ -550,6 +586,8 @@ def main(argv=None) -> int:
         print(f"  null sink     {obs['null_s']:.4f} s  ({obs['null_overhead']:+.2%})")
         print(f"  instrumented  {obs['instrumented_s']:.4f} s  "
               f"({obs['instrumented_overhead']:+.2%})")
+        print(f"  timeseries    {obs['timeseries_s']:.4f} s  "
+              f"({obs['timeseries_overhead']:+.2%})")
         print(f"  streaming     {obs['streaming_s']:.4f} s  "
               f"({obs['streaming_overhead']:+.2%})")
         if obs["null_overhead"] > args.obs_tolerance:

@@ -346,6 +346,10 @@ def _serve_result_record(r) -> dict:
         # SLOSummary.to_dict applies the same non-finite -> null
         # coercion as _finite
         "slo": r.slo.to_dict(),
+        # flight-recorder snapshot + fault overlay bands ({} / [] when
+        # observability is off) — what `repro obs report` renders
+        "timeseries": r.timeseries,
+        "overlays": list(r.overlays),
     }
 
 
@@ -593,6 +597,11 @@ def cmd_obs(args: argparse.Namespace) -> int:
 
     if args.obs_what == "summary":
         print(summarize_files(metrics_path=args.metrics, trace_path=args.trace))
+    elif args.obs_what == "report":
+        from .obs.report import render_report, write_report
+
+        out = write_report(args.out, render_report(args.input, title=args.title))
+        print(f"wrote dashboard report to {out}")
     return 0
 
 
@@ -830,6 +839,20 @@ def _parser() -> argparse.ArgumentParser:
                          "streaming .jsonl; torn streaming files are "
                          "recovered up to the last complete record)")
     ps.set_defaults(func=cmd_obs)
+    pr = obs_sub.add_parser(
+        "report",
+        help="render a flight-recorder artifact as a self-contained "
+             "HTML dashboard (inline SVG, no external assets)",
+    )
+    pr.add_argument("input", metavar="FILE",
+                    help="`repro serve --json` output, a timeseries "
+                         "snapshot .json, a .jsonl export, or a "
+                         "columnar .npz export")
+    pr.add_argument("--out", metavar="FILE.html", default="report.html",
+                    help="output HTML path (default: report.html)")
+    pr.add_argument("--title", default=None,
+                    help="override the report title")
+    pr.set_defaults(func=cmd_obs)
 
     return parser
 
@@ -838,8 +861,15 @@ def main(argv=None) -> int:
     args = _parser().parse_args(argv)
     try:
         return _run_with_obs(args)
-    except (ValueError, NotImplementedError, LayoutError, UnrecoverableFailureError) as exc:
-        # domain errors become a one-line message, not a traceback
+    except (
+        ValueError,
+        NotImplementedError,
+        LayoutError,
+        UnrecoverableFailureError,
+        FileNotFoundError,
+    ) as exc:
+        # domain errors (including a missing input artifact) become a
+        # one-line message, not a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

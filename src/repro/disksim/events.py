@@ -34,7 +34,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..obs import default_registry, default_tracer, obs_enabled
+from ..obs import default_recorder, default_registry, default_tracer, obs_enabled
 from ..obs.tracing import Tracer
 from .calendar import OP_COMPLETE, TypedCalendar
 from .disk import DiskModel, DiskParameters
@@ -68,6 +68,7 @@ class _SimObs:
         "retries",
         "latency",
         "dispatched",
+        "ts_latency",
     )
 
     def __init__(self, sim: "Simulation", trace) -> None:
@@ -94,6 +95,15 @@ class _SimObs:
             "sim.queue_depth", "per-disk scheduler queue depth at last completion"
         )
         self.qd = [qd.labels(disk=str(d)) for d in range(len(sim.disks))]
+        # flight-recorder series: windowed latency over the simulated
+        # clock (None when no recorder is installed — one `is not None`
+        # per completion, same contract as `_obs` itself)
+        rec = sim.recorder
+        self.ts_latency = (
+            rec.series("sim.latency_s", "request latency over simulated time")
+            if rec is not None
+            else None
+        )
         # a bare Tracer gets its own track group; a TraceGroup (handed
         # down by the RAID controller, already labelled) is used as-is
         group = trace.group("array") if isinstance(trace, Tracer) else trace
@@ -115,6 +125,9 @@ class _SimObs:
         if request.attempt:
             self.retries.inc()
         self.latency.observe(request.finish_time - request.submit_time)
+        ts = self.ts_latency
+        if ts is not None:
+            ts.observe(request.finish_time, request.finish_time - request.submit_time)
         self.qd[request.disk].set(len(server.scheduler))
         group = self.group
         if group is not None:
@@ -183,6 +196,13 @@ class _SimObs:
         self.latency.observe_many(
             np.fromiter((r.finish_time - r.submit_time for r in completed), np.float64, n)
         )
+        ts = self.ts_latency
+        if ts is not None:
+            # completion order == per-event-loop order, so window
+            # assignment (and hence the snapshot) stays bit-identical
+            # between the drain path and the per-event path
+            for r in completed:
+                ts.observe(r.finish_time, r.finish_time - r.submit_time)
         group = self.group
         if group is not None:
             trace_complete = self.trace_complete
@@ -229,6 +249,7 @@ class Simulation:
         faults=None,
         tracer=None,
         calendar: str | None = None,
+        recorder=None,
     ) -> None:
         if n_disks < 1:
             raise ValueError(f"need at least one disk, got {n_disks}")
@@ -278,6 +299,19 @@ class Simulation:
             trace = tracer
         else:
             trace = default_tracer()
+        #: flight recorder for simulated-time windowed timeseries.
+        #: ``recorder=False`` opts out; with no explicit recorder the
+        #: process default applies — which is ``None`` under
+        #: ``REPRO_OBS=0``, so recording is skipped entirely.  The
+        #: engine advances the recorder's windows once per ``run()``
+        #: call (in the instrumented loops' finally blocks; the bare
+        #: heapq loop never carries a recorder).
+        if recorder is False:
+            self.recorder = None
+        elif recorder is not None:
+            self.recorder = recorder
+        else:
+            self.recorder = default_recorder()
         self._obs = (
             _SimObs(self, trace) if (trace is not None or obs_enabled()) else None
         )
@@ -462,6 +496,9 @@ class Simulation:
             # one counter update per run() call, not per event
             if dispatched:
                 self._obs.dispatched.inc(dispatched)
+            rec = self.recorder
+            if rec is not None:
+                rec.advance_to(self.now)
 
     def _run_typed(self, until: float | None = None) -> float:
         """The typed-calendar run loop: batch pops, opcode dispatch.
@@ -512,6 +549,9 @@ class Simulation:
             # shared by both the batch loop and the vectorized drain
             if dispatched and obs is not None:
                 obs.dispatched.inc(dispatched)
+            rec = self.recorder
+            if rec is not None:
+                rec.advance_to(self.now)
 
     # ------------------------------------------------------------------
     def _drain_fast(self) -> int:

@@ -32,6 +32,7 @@ class LineChart:
     width: int = 640
     height: int = 420
     _series: list[tuple[str, list[float], list[float]]] = field(default_factory=list)
+    _bands: list[tuple[float, float, str, str]] = field(default_factory=list)
 
     margin_left: int = 70
     margin_right: int = 20
@@ -46,6 +47,21 @@ class LineChart:
         if not xs:
             raise ValueError(f"series {name!r} is empty")
         self._series.append((name, xs, ys))
+
+    def add_band(
+        self, x0: float, x1: float, label: str = "", color: str = "#d62728"
+    ) -> None:
+        """Shade the x-interval ``[x0, x1]`` behind the series.
+
+        Bands render as translucent full-height rectangles (with a
+        hover ``<title>``) — the dashboard uses them to overlay active
+        fault intervals on latency/progress curves.  Bands widen the
+        x-bounds, so an interval outlasting the data stays visible.
+        """
+        x0, x1 = float(x0), float(x1)
+        if x1 < x0:
+            raise ValueError(f"band ends at {x1} before it starts at {x0}")
+        self._bands.append((x0, x1, label, color))
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -71,6 +87,8 @@ class LineChart:
 
     def _bounds(self) -> tuple[float, float, float, float]:
         xs = [x for _, sx, _ in self._series for x in sx]
+        for x0, x1, _, _ in self._bands:
+            xs.extend((x0, x1))
         ys = [y for _, _, sy in self._series for y in sy]
         y_lo = min(0.0, min(ys))
         return min(xs), max(xs), y_lo, max(ys)
@@ -124,6 +142,18 @@ class LineChart:
             parts.append(
                 f'<text x="{x:.1f}" y="{self.margin_top + plot_h + 18}" '
                 f'text-anchor="middle">{t:g}</text>'
+            )
+        # overlay bands (under the series, over the gridlines)
+        for x0, x1, label, color in self._bands:
+            bx0, bx1 = max(x0, x_lo), min(x1, x_hi)
+            if bx1 <= bx0:
+                continue
+            parts.append(
+                f'<rect x="{px(bx0):.1f}" y="{self.margin_top}" '
+                f'width="{px(bx1) - px(bx0):.1f}" height="{plot_h}" '
+                f'fill="{color}" fill-opacity="0.10" stroke="{color}" '
+                f'stroke-opacity="0.35" stroke-dasharray="4 3">'
+                f"<title>{escape(label)}</title></rect>"
             )
         # axes
         parts.append(

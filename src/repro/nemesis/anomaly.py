@@ -22,7 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..obs import RollingBaseline, default_registry
+from ..obs import default_registry, make_baseline
+from ..obs.baseline import BASELINE_KINDS
 from .tracker import FaultTimeline
 
 __all__ = [
@@ -39,7 +40,12 @@ class MetricSpec:
     """How one metric is baselined and judged.
 
     ``direction`` names the bad side: ``"high"`` for latency-like
-    series, ``"low"`` for throughput-like ones.
+    series, ``"low"`` for throughput-like ones.  ``baseline`` selects
+    the estimator (see :func:`repro.obs.baseline.make_baseline`):
+    ``"rolling"`` re-centres fast, ``"ewma"`` (knob: ``ewma_alpha``)
+    keeps long memory so slow drifts still flag, ``"seasonal"`` (knobs:
+    ``period_s``/``n_phases``) judges each phase of a periodic signal
+    against its own history.
     """
 
     name: str
@@ -48,12 +54,31 @@ class MetricSpec:
     z_threshold: float = 4.0
     window: int = 64
     min_samples: int = 6
+    baseline: str = "rolling"
+    ewma_alpha: float = 0.05
+    period_s: float = 86_400.0
+    n_phases: int = 24
 
     def __post_init__(self) -> None:
         if self.direction not in ("high", "low"):
             raise ValueError(f"direction must be 'high'/'low', got {self.direction!r}")
         if self.rel_threshold <= 0:
             raise ValueError("rel_threshold must be positive")
+        if self.baseline not in BASELINE_KINDS:
+            raise ValueError(
+                f"baseline must be one of {BASELINE_KINDS}, got {self.baseline!r}"
+            )
+
+    def make_baseline(self):
+        """Build this spec's baseline estimator."""
+        return make_baseline(
+            self.baseline,
+            window=self.window,
+            min_samples=self.min_samples,
+            alpha=self.ewma_alpha,
+            period_s=self.period_s,
+            n_phases=self.n_phases,
+        )
 
 
 #: the campaign's stock watchlist
@@ -160,9 +185,7 @@ class AnomalyDetector:
         self.timeline = timeline
         self.margin_s = margin_s
         self._specs = {m.name: m for m in metrics}
-        self._baselines = {
-            m.name: RollingBaseline(m.window, m.min_samples) for m in metrics
-        }
+        self._baselines = {m.name: m.make_baseline() for m in metrics}
         self._excursions: list[Excursion] = []
         self._n_samples = 0
         self._n_quiet = 0
@@ -180,7 +203,7 @@ class AnomalyDetector:
         if spec.name in self._specs:
             raise ValueError(f"metric {spec.name!r} already watched")
         self._specs[spec.name] = spec
-        self._baselines[spec.name] = RollingBaseline(spec.window, spec.min_samples)
+        self._baselines[spec.name] = spec.make_baseline()
 
     def observe(
         self, t_s: float, metric: str, value: float, quiet: bool | None = None
@@ -205,9 +228,14 @@ class AnomalyDetector:
         active = self.timeline.active_at(t_s, self.margin_s)
         if quiet is None:
             quiet = not active
-        flagged = baseline.is_excursion(
-            value, spec.rel_threshold, spec.z_threshold, spec.direction
-        )
+        if getattr(baseline, "time_aware", False):
+            flagged = baseline.is_excursion(
+                value, spec.rel_threshold, spec.z_threshold, spec.direction, t_s=t_s
+            )
+        else:
+            flagged = baseline.is_excursion(
+                value, spec.rel_threshold, spec.z_threshold, spec.direction
+            )
         if flagged:
             exc = Excursion(
                 t_s=t_s,
@@ -225,10 +253,13 @@ class AnomalyDetector:
             return exc
         if quiet:
             self._n_quiet += 1
-            baseline.update(value)
+            if getattr(baseline, "time_aware", False):
+                baseline.update(value, t_s=t_s)
+            else:
+                baseline.update(value)
         return None
 
-    def baseline(self, metric: str) -> RollingBaseline:
+    def baseline(self, metric: str):
         return self._baselines[metric]
 
     def report(self) -> AttributionReport:

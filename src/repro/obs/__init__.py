@@ -27,7 +27,7 @@ trace.json`` needs no plumbing through intermediate layers.  See
 
 from __future__ import annotations
 
-from .baseline import RollingBaseline
+from .baseline import EWMABaseline, RollingBaseline, SeasonalBaseline, make_baseline
 from .export import (
     JsonlTraceSink,
     StreamedTrace,
@@ -56,6 +56,22 @@ from .metrics import (
     set_obs_enabled,
 )
 from .summary import metrics_summary, summarize_files, trace_summary
+from .timeseries import (
+    DEFAULT_HORIZON,
+    DEFAULT_TS_BUCKETS,
+    DEFAULT_WINDOW_S,
+    TimelineRecorder,
+    TimeSeries,
+    default_recorder,
+    load_timeseries_jsonl,
+    load_timeseries_npz,
+    scoped_recorder,
+    set_default_recorder,
+    window_mean,
+    window_quantile,
+    write_timeseries_jsonl,
+    write_timeseries_npz,
+)
 from .tracing import (
     DEFAULT_BUFFER_WATERMARK,
     SAMPLED_CATS,
@@ -110,6 +126,24 @@ __all__ = [
     "summarize_files",
     # baselines
     "RollingBaseline",
+    "EWMABaseline",
+    "SeasonalBaseline",
+    "make_baseline",
+    # timeseries (the simulated-time flight recorder)
+    "TimelineRecorder",
+    "TimeSeries",
+    "DEFAULT_WINDOW_S",
+    "DEFAULT_HORIZON",
+    "DEFAULT_TS_BUCKETS",
+    "default_recorder",
+    "set_default_recorder",
+    "scoped_recorder",
+    "window_mean",
+    "window_quantile",
+    "write_timeseries_jsonl",
+    "load_timeseries_jsonl",
+    "write_timeseries_npz",
+    "load_timeseries_npz",
 ]
 
 _default_tracer: Tracer | None = None

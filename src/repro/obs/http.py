@@ -37,6 +37,20 @@ __all__ = ["prometheus_text", "MetricsServer"]
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
+
+class _Url(str):
+    """The server's base URL; callable for API symmetry.
+
+    Both spellings work: ``server.url`` (the historical property form,
+    used by the CLI and existing tests) and ``server.url()``.
+    """
+
+    __slots__ = ()
+
+    def __call__(self) -> str:
+        return str(self)
+
+
 #: the exposition-format version Prometheus scrapers negotiate
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -69,11 +83,16 @@ def _label_str(labels: dict, extra: str = "") -> str:
 
 
 def _fmt(value: float) -> str:
+    value = float(value)
     if value == float("inf"):
         return "+Inf"
     if value == float("-inf"):
         return "-Inf"
-    return repr(float(value))
+    if value != value:
+        # zero-sample aggregates are NaN by contract; the exposition
+        # token is case-sensitive ("NaN", not Python's repr "nan")
+        return "NaN"
+    return repr(value)
 
 
 def prometheus_text(snapshot: dict) -> str:
@@ -201,8 +220,9 @@ class MetricsServer:
         return self._httpd.server_address[1]
 
     @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
+    def url(self) -> "_Url":
+        """Base URL with the bound (possibly kernel-assigned) port."""
+        return _Url(f"http://{self.host}:{self.port}")
 
     def start(self) -> "MetricsServer":
         """Begin serving on a daemon thread; returns ``self`` for chaining."""

@@ -1,0 +1,613 @@
+"""Simulated-time flight recorder: windowed metric timeseries.
+
+Cumulative counters answer "how much, in total"; the paper's claims
+are *trajectories* — user-read latency and rebuild progress **during**
+reconstruction.  :class:`TimelineRecorder` is the first-class data
+structure for those curves: named series accept ``observe(t, value)``
+feeds (``t`` is the **simulated** clock, never wall time) and fold
+them into fixed-width windows holding ``count/sum/min/max`` plus
+fixed-bucket counts, from which mean and streaming quantiles derive.
+Closed windows live in a ring buffer bounded by ``horizon`` windows
+per series, so a week-long campaign records in O(horizon), not O(events).
+
+The recorder follows the null-sink contract of the rest of
+:mod:`repro.obs`: components resolve :func:`default_recorder` at
+construction and keep a per-series handle (one ``is not None`` test on
+the hot path).  With ``REPRO_OBS=0`` :func:`default_recorder` returns
+``None`` even when a recorder is installed, so recording is skipped
+entirely and the engine stays inside the ≤2% overhead gate.
+
+Merging is defined on plain-data snapshots — windows with the same
+index add counts and sums and combine min/max — and is used by
+``compare_sweep`` to fold worker recorders into the parent in
+submission order, which keeps ``jobs=1`` and ``jobs=N`` sweeps
+bit-identical.  Exports: JSONL (torn-tail recoverable, mirroring
+``load_streaming_trace``) and a columnar ``.npz``.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from contextlib import contextmanager
+from pathlib import Path
+
+from .metrics import MetricsRegistry, default_registry, obs_enabled
+
+__all__ = [
+    "DEFAULT_WINDOW_S",
+    "DEFAULT_HORIZON",
+    "DEFAULT_TS_BUCKETS",
+    "TIMESERIES_SCHEMA",
+    "SeriesWindow",
+    "TimeSeries",
+    "TimelineRecorder",
+    "window_quantile",
+    "window_mean",
+    "default_recorder",
+    "set_default_recorder",
+    "scoped_recorder",
+    "write_timeseries_jsonl",
+    "load_timeseries_jsonl",
+    "write_timeseries_npz",
+    "load_timeseries_npz",
+]
+
+#: schema version stamped into snapshots and both export formats
+TIMESERIES_SCHEMA = 1
+
+#: default simulated-time window width (seconds)
+DEFAULT_WINDOW_S = 0.1
+
+#: default ring-buffer bound: closed windows kept per series
+DEFAULT_HORIZON = 4096
+
+#: default quantile buckets — upper bounds in seconds, tuned for I/O
+#: latencies like ``repro.obs.metrics.DEFAULT_BUCKETS`` but denser in
+#: the 1–500 ms band where rebuild-vs-serve contention lives
+DEFAULT_TS_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 120.0,
+)
+
+#: window-close gauges published per closed window (most recent wins)
+_WINDOW_AGGS = ("count", "mean", "min", "max", "p50", "p99")
+
+
+def _series_key(name: str, labels: dict) -> str:
+    """Canonical dict key for one (name, labels) series."""
+    if not labels:
+        return name
+    return name + "|" + ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+def window_mean(win: dict) -> float:
+    """Mean of one window dict (NaN when the window is empty)."""
+    return win["sum"] / win["count"] if win["count"] else float("nan")
+
+
+def window_quantile(win: dict, q: float, buckets) -> float:
+    """Streaming quantile of one window: the upper bound of the bucket
+    covering rank ``q``, clamped to the window max past the last bound
+    (the same convention as ``SLOAccountant``'s streaming quantiles).
+    """
+    total = win["count"]
+    if not total:
+        return float("nan")
+    rank = q * total
+    cumulative = 0
+    for bound, count in zip(buckets, win["counts"]):
+        cumulative += count
+        if cumulative >= rank:
+            return min(bound, win["max"])
+    return win["max"]
+
+
+class SeriesWindow:
+    """Mutable open-window aggregates for one series (internal)."""
+
+    __slots__ = ("w", "count", "sum", "min", "max", "counts")
+
+    def __init__(self, w: int, n_buckets: int) -> None:
+        self.w = w
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.counts = [0] * (n_buckets + 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "w": self.w,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "counts": list(self.counts),
+        }
+
+
+class TimeSeries:
+    """One named, labelled series inside a :class:`TimelineRecorder`.
+
+    Handles are cheap to hold: components capture one at construction
+    and call :meth:`observe` per sample.  Samples earlier than the
+    open window (possible when completion order lags the clock) clamp
+    into the open window rather than reopening a closed one — window
+    assignment is deterministic either way because completion order
+    itself is deterministic.
+    """
+
+    __slots__ = ("name", "help", "labels", "_rec", "_bounds", "_open", "closed")
+
+    def __init__(self, recorder: "TimelineRecorder", name: str, help: str, labels: dict) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._rec = recorder
+        self._bounds = recorder._bounds
+        self._open: SeriesWindow | None = None
+        self.closed: list[dict] = []
+
+    def observe(self, t: float, value: float) -> None:
+        """Fold one sample at simulated time ``t`` into its window."""
+        value = float(value)
+        if value != value or value in (float("inf"), float("-inf")):
+            return  # "no measurement" — same abstention as the baselines
+        w = int(t // self._rec.window_s)
+        win = self._open
+        if win is None:
+            win = self._open = SeriesWindow(w, len(self._bounds))
+        elif w > win.w:
+            self._close(win)
+            win = self._open = SeriesWindow(w, len(self._bounds))
+        win.count += 1
+        win.sum += value
+        if value < win.min:
+            win.min = value
+        if value > win.max:
+            win.max = value
+        win.counts[bisect_left(self._bounds, value)] += 1
+
+    def advance_to(self, t: float) -> None:
+        """Close the open window if ``t`` has moved past its right edge."""
+        win = self._open
+        if win is not None and int(t // self._rec.window_s) > win.w:
+            self._close(win)
+            self._open = None
+
+    def _close(self, win: SeriesWindow) -> None:
+        if win.count:
+            record = win.to_dict()
+            self._insert_closed(record)
+            self._rec._publish(self, record)
+
+    def _insert_closed(self, record: dict) -> None:
+        """Keep ``closed`` sorted by window index, folding duplicates.
+
+        The common close appends; the sorted-insert path exists because
+        a merged snapshot can carry windows past the one still open
+        here, so a later close (or fold) may arrive out of order.
+        """
+        closed = self.closed
+        if not closed or closed[-1]["w"] < record["w"]:
+            closed.append(record)
+        else:
+            lo, hi = 0, len(closed)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if closed[mid]["w"] < record["w"]:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < len(closed) and closed[lo]["w"] == record["w"]:
+                self._fold_into(closed[lo], record)
+                return
+            closed.insert(lo, record)
+        if len(closed) > self._rec.horizon:
+            del closed[0 : len(closed) - self._rec.horizon]
+
+    def windows(self) -> list[dict]:
+        """Every non-empty window sorted by index, oldest first.
+
+        The open window slots into position — after a merge it can
+        trail closed windows folded in from another recorder.
+        """
+        out = [dict(w, counts=list(w["counts"])) for w in self.closed]
+        win = self._open
+        if win is not None and win.count:
+            record = win.to_dict()
+            idx = len(out)
+            while idx > 0 and out[idx - 1]["w"] > record["w"]:
+                idx -= 1
+            out.insert(idx, record)
+        return out
+
+    def fold(self, win: dict) -> None:
+        """Merge one window dict into this series (same window width)."""
+        open_win = self._open
+        if open_win is not None and open_win.w == win["w"]:
+            target = open_win.to_dict()
+            self._fold_into(target, win)
+            open_win.count = target["count"]
+            open_win.sum = target["sum"]
+            open_win.min = target["min"]
+            open_win.max = target["max"]
+            open_win.counts = target["counts"]
+            return
+        self._insert_closed(dict(win, counts=list(win["counts"])))
+
+    @staticmethod
+    def _fold_into(target: dict, win: dict) -> None:
+        target["count"] += win["count"]
+        target["sum"] += win["sum"]
+        target["min"] = min(target["min"], win["min"])
+        target["max"] = max(target["max"], win["max"])
+        target["counts"] = [a + b for a, b in zip(target["counts"], win["counts"])]
+
+
+class TimelineRecorder:
+    """Windowed simulated-time timeseries over many named series.
+
+    Parameters
+    ----------
+    window_s:
+        Fixed window width in **simulated** seconds; window ``w``
+        covers ``[w * window_s, (w + 1) * window_s)``.
+    horizon:
+        Ring-buffer bound — closed windows kept per series (oldest
+        evicted first).
+    buckets:
+        Ascending quantile-bucket upper bounds shared by all series.
+    registry:
+        Metrics registry that receives ``{name}_window`` gauges when a
+        window closes (the most recent closed window, per aggregate),
+        so the Prometheus endpoint exposes live trajectory points.
+        Defaults to :func:`repro.obs.metrics.default_registry`;
+        pass ``False`` to disable publication.
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        horizon: int = DEFAULT_HORIZON,
+        buckets=DEFAULT_TS_BUCKETS,
+        registry: MetricsRegistry | None | bool = None,
+    ) -> None:
+        if window_s <= 0.0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("buckets must be strictly ascending")
+        self.window_s = float(window_s)
+        self.horizon = int(horizon)
+        self._bounds = bounds
+        if registry is False:
+            self._registry = None
+        else:
+            self._registry = registry if registry is not None else default_registry()
+        self._series: dict[str, TimeSeries] = {}
+        self._gauges: dict[str, object] = {}
+        self._samplers: list[tuple[TimeSeries, object]] = []
+
+    # -- series management -------------------------------------------------
+
+    def series(self, name: str, help: str = "", **labels) -> TimeSeries:
+        """Get or create the series for ``(name, labels)``."""
+        key = _series_key(name, labels)
+        s = self._series.get(key)
+        if s is None:
+            s = self._series[key] = TimeSeries(self, name, help, dict(labels))
+        return s
+
+    def sample(self, name: str, fn, help: str = "", **labels) -> TimeSeries:
+        """Register ``fn()`` to be sampled at every :meth:`advance_to`.
+
+        The callable runs on the simulated clock (once per advance, at
+        the advance time) — the pull-style complement of the push-style
+        :meth:`TimeSeries.observe` feed.
+        """
+        s = self.series(name, help, **labels)
+        self._samplers.append((s, fn))
+        return s
+
+    def advance_to(self, t: float) -> None:
+        """Move the recorder clock: run samplers, close elapsed windows."""
+        for s, fn in self._samplers:
+            value = fn()
+            if value is not None:
+                s.observe(t, value)
+        for s in self._series.values():
+            s.advance_to(t)
+
+    # -- window-close gauge publication ------------------------------------
+
+    def _publish(self, series: TimeSeries, win: dict) -> None:
+        reg = self._registry
+        if reg is None or not reg.enabled:
+            return
+        gauge = self._gauges.get(series.name)
+        if gauge is None:
+            gauge = self._gauges[series.name] = reg.gauge(
+                series.name + "_window",
+                (series.help or series.name) + " (most recent closed window)",
+            )
+        values = {
+            "count": float(win["count"]),
+            "mean": window_mean(win),
+            "min": win["min"],
+            "max": win["max"],
+            "p50": window_quantile(win, 0.50, self._bounds),
+            "p99": window_quantile(win, 0.99, self._bounds),
+        }
+        for agg in _WINDOW_AGGS:
+            gauge.set(values[agg], agg=agg, **series.labels)
+
+    # -- snapshot / merge ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data state: JSON-able, mergeable, export-ready.
+
+        Open windows are included (they carry real samples); folding a
+        snapshot into another recorder goes through :meth:`merge`.
+        """
+        series = {}
+        for key in sorted(self._series):
+            s = self._series[key]
+            wins = s.windows()
+            if wins:
+                series[key] = {
+                    "name": s.name,
+                    "help": s.help,
+                    "labels": dict(s.labels),
+                    "windows": wins,
+                }
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "window_s": self.window_s,
+            "horizon": self.horizon,
+            "buckets": list(self._bounds),
+            "series": series,
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot from another recorder into this one.
+
+        Window width and buckets must match — window indices are only
+        comparable at the same width.  Deterministic: iterates series
+        in sorted key order, windows in recorded order, so merging the
+        same snapshots in the same order always gives the same state
+        (the ``jobs=1`` vs ``jobs=N`` bit-identity hinge).
+        """
+        if not snapshot or not snapshot.get("series"):
+            return
+        if snapshot["window_s"] != self.window_s:
+            raise ValueError(
+                f"window_s mismatch: recorder {self.window_s}, "
+                f"snapshot {snapshot['window_s']}"
+            )
+        if tuple(snapshot["buckets"]) != self._bounds:
+            raise ValueError("bucket-bound mismatch between recorder and snapshot")
+        for key in sorted(snapshot["series"]):
+            entry = snapshot["series"][key]
+            s = self.series(entry["name"], entry.get("help", ""), **entry["labels"])
+            for win in entry["windows"]:
+                s.fold(win)
+
+
+# -- process default (mirrors default_tracer) ------------------------------
+
+_default_recorder: TimelineRecorder | None = None
+
+
+def default_recorder() -> TimelineRecorder | None:
+    """The process default recorder, or ``None`` when recording is off.
+
+    Gated on :func:`repro.obs.metrics.obs_enabled`: with ``REPRO_OBS=0``
+    this returns ``None`` *even when a recorder is installed*, so
+    instrumented components resolve to no-recording at construction
+    and the engine's null-sink overhead contract holds.
+    """
+    if not obs_enabled():
+        return None
+    return _default_recorder
+
+
+def set_default_recorder(
+    recorder: TimelineRecorder | None,
+) -> TimelineRecorder | None:
+    """Install (or clear, with ``None``) the default recorder; returns the old."""
+    global _default_recorder
+    old = _default_recorder
+    _default_recorder = recorder
+    return old
+
+
+@contextmanager
+def scoped_recorder(
+    recorder: TimelineRecorder | None = None,
+    *,
+    enabled: bool = True,
+    window_s: float = DEFAULT_WINDOW_S,
+    horizon: int = DEFAULT_HORIZON,
+):
+    """Install a recorder for the duration of a ``with`` block.
+
+    Creates a fresh :class:`TimelineRecorder` when none is given (and
+    observability is on); ``enabled=False`` installs ``None`` so a
+    block runs recorder-free regardless of the ambient default —
+    sweep workers use this to match the parent's recording decision
+    on both the serial and the process-pool path.
+    """
+    if recorder is None and enabled and obs_enabled():
+        recorder = TimelineRecorder(window_s=window_s, horizon=horizon)
+    if not enabled:
+        recorder = None
+    old = set_default_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_default_recorder(old)
+
+
+# -- exports ----------------------------------------------------------------
+
+
+def write_timeseries_jsonl(path, snapshot: dict) -> Path:
+    """Write a snapshot as JSONL: one header line, one line per window.
+
+    Line-per-record makes the file tail-recoverable: a crash mid-write
+    loses at most the torn final line (see :func:`load_timeseries_jsonl`),
+    exactly like the streaming trace sink.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {k: v for k, v in snapshot.items() if k != "series"}
+        header["kind"] = "timeseries"
+        fh.write(json.dumps(header) + "\n")
+        for key in sorted(snapshot.get("series", {})):
+            entry = snapshot["series"][key]
+            for win in entry["windows"]:
+                record = {
+                    "series": key,
+                    "name": entry["name"],
+                    "labels": entry["labels"],
+                }
+                record.update(win)
+                fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_timeseries_jsonl(path) -> dict:
+    """Load a JSONL timeseries back into snapshot form.
+
+    Mirrors ``load_streaming_trace``: a torn final line (killed
+    process, full disk) ends the read at the last intact record
+    instead of raising, so every window written before the tear is
+    recovered.
+    """
+    path = Path(path)
+    snapshot: dict = {
+        "schema": TIMESERIES_SCHEMA,
+        "window_s": DEFAULT_WINDOW_S,
+        "horizon": DEFAULT_HORIZON,
+        "buckets": list(DEFAULT_TS_BUCKETS),
+        "series": {},
+    }
+    series = snapshot["series"]
+    first = True
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail: keep everything before it
+            if first:
+                first = False
+                if record.get("kind") == "timeseries":
+                    for field in ("schema", "window_s", "horizon", "buckets"):
+                        if field in record:
+                            snapshot[field] = record[field]
+                    continue
+            key = record.get("series")
+            if key is None:
+                continue
+            entry = series.get(key)
+            if entry is None:
+                entry = series[key] = {
+                    "name": record["name"],
+                    "help": "",
+                    "labels": record.get("labels", {}),
+                    "windows": [],
+                }
+            entry["windows"].append(
+                {
+                    "w": record["w"],
+                    "count": record["count"],
+                    "sum": record["sum"],
+                    "min": record["min"],
+                    "max": record["max"],
+                    "counts": list(record["counts"]),
+                }
+            )
+    return snapshot
+
+
+def write_timeseries_npz(path, snapshot: dict) -> Path:
+    """Write a snapshot as a columnar ``.npz``.
+
+    One int64 window-index column, float64 count/sum/min/max columns
+    and a 2-D int64 bucket-count matrix per series, plus a JSON
+    ``meta`` blob naming the series — the layout numpy analysis reads
+    straight into arrays without any per-window parsing.
+    """
+    import numpy as np
+
+    path = Path(path)
+    meta = {
+        "schema": snapshot.get("schema", TIMESERIES_SCHEMA),
+        "window_s": snapshot["window_s"],
+        "horizon": snapshot.get("horizon", DEFAULT_HORIZON),
+        "buckets": list(snapshot["buckets"]),
+        "series": [],
+    }
+    arrays: dict = {}
+    for i, key in enumerate(sorted(snapshot.get("series", {}))):
+        entry = snapshot["series"][key]
+        wins = entry["windows"]
+        meta["series"].append(
+            {"key": key, "name": entry["name"], "labels": entry["labels"]}
+        )
+        arrays[f"s{i}_w"] = np.array([w["w"] for w in wins], dtype=np.int64)
+        arrays[f"s{i}_count"] = np.array([w["count"] for w in wins], dtype=np.int64)
+        arrays[f"s{i}_sum"] = np.array([w["sum"] for w in wins], dtype=np.float64)
+        arrays[f"s{i}_min"] = np.array([w["min"] for w in wins], dtype=np.float64)
+        arrays[f"s{i}_max"] = np.array([w["max"] for w in wins], dtype=np.float64)
+        arrays[f"s{i}_counts"] = np.array(
+            [w["counts"] for w in wins], dtype=np.int64
+        ).reshape(len(wins), -1)
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    with path.open("wb") as fh:
+        np.savez(fh, **arrays)
+    return path
+
+
+def load_timeseries_npz(path) -> dict:
+    """Load a columnar ``.npz`` timeseries back into snapshot form."""
+    import numpy as np
+
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        series = {}
+        for i, info in enumerate(meta["series"]):
+            ws = data[f"s{i}_w"]
+            counts2d = data[f"s{i}_counts"]
+            wins = [
+                {
+                    "w": int(ws[j]),
+                    "count": int(data[f"s{i}_count"][j]),
+                    "sum": float(data[f"s{i}_sum"][j]),
+                    "min": float(data[f"s{i}_min"][j]),
+                    "max": float(data[f"s{i}_max"][j]),
+                    "counts": counts2d[j].tolist(),
+                }
+                for j in range(len(ws))
+            ]
+            series[info["key"]] = {
+                "name": info["name"],
+                "help": "",
+                "labels": info["labels"],
+                "windows": wins,
+            }
+    return {
+        "schema": meta["schema"],
+        "window_s": meta["window_s"],
+        "horizon": meta["horizon"],
+        "buckets": meta["buckets"],
+        "series": series,
+    }

@@ -30,7 +30,13 @@ from ..core.registry import LAYOUTS, shifted_variant_name
 from ..disksim.array import DEFAULT_ELEMENT_SIZE
 from ..disksim.faultplan import FaultPlan
 from ..disksim.scheduler import PriorityScheduler
-from ..obs import default_registry, default_tracer, scoped_registry
+from ..obs import (
+    default_recorder,
+    default_registry,
+    default_tracer,
+    scoped_recorder,
+    scoped_registry,
+)
 from ..parallel import parallel_map
 from ..workloads.generator import user_read_stream
 from .controller import FaultStats, RaidController, RebuildResult, RetryPolicy
@@ -303,6 +309,10 @@ class SweepPoint:
     #: :meth:`repro.obs.MetricsRegistry.snapshot`); empty when
     #: observability is disabled
     metrics: dict = field(default_factory=dict, compare=False)
+    #: the worker's flight-recorder snapshot (windowed simulated-time
+    #: timeseries; see :meth:`repro.obs.TimelineRecorder.snapshot`);
+    #: empty when no recorder is installed in the parent
+    timeseries: dict = field(default_factory=dict, compare=False)
     #: worker-side wall-clock seconds spent on this point
     wall_s: float = field(default=0.0, compare=False)
 
@@ -358,17 +368,31 @@ def _sweep_point(task) -> SweepPoint:
     the fault plan are constructed inside the worker so nothing
     stateful crosses the process boundary.
     """
-    family, n, index, fault_seed, user_seed, plan_kwargs, campaign_kwargs = task
+    (
+        family,
+        n,
+        index,
+        fault_seed,
+        user_seed,
+        plan_kwargs,
+        campaign_kwargs,
+        record_ts,
+        ts_window_s,
+    ) = task
     traditional = LAYOUTS[family]
     shifted = LAYOUTS[shifted_variant_name(family)]
     plan = default_fault_plan(
         traditional(n).n_disks, seed=fault_seed, **plan_kwargs
     )
-    # each point runs under its own metrics scope so its snapshot can
-    # be shipped back (pickled, across the process boundary) and merged
-    # by the parent in deterministic seed order
+    # each point runs under its own metrics scope (and, when the parent
+    # has a flight recorder, its own recorder scope) so its snapshots
+    # can be shipped back (pickled, across the process boundary) and
+    # merged by the parent in deterministic seed order
     t0 = time.perf_counter()
-    with scoped_registry() as reg:
+    with (
+        scoped_registry() as reg,
+        scoped_recorder(enabled=record_ts, window_s=ts_window_s) as rec,
+    ):
         comparison = compare_arrangements(
             lambda: traditional(n),
             lambda: shifted(n),
@@ -377,12 +401,14 @@ def _sweep_point(task) -> SweepPoint:
             **campaign_kwargs,
         )
         snap = reg.snapshot()
+        ts_snap = rec.snapshot() if rec is not None else {}
     return SweepPoint(
         seed_index=index,
         fault_seed=fault_seed,
         user_read_seed=user_seed,
         comparison=comparison,
         metrics=snap,
+        timeseries=ts_snap,
         wall_s=time.perf_counter() - t0,
     )
 
@@ -417,6 +443,13 @@ def compare_sweep(
     """
     shifted_variant_name(family)  # validate up front, before forking
     seeds = derive_sweep_seeds(root_seed, n_seeds)
+    # workers record timeseries exactly when the parent has a flight
+    # recorder installed, at the parent's window width — the flag (not
+    # ambient state) travels in the task so serial and pool execution
+    # make the identical decision
+    recorder = default_recorder()
+    record_ts = recorder is not None
+    ts_window_s = recorder.window_s if recorder is not None else 0.1
     tasks = [
         (
             family,
@@ -426,6 +459,8 @@ def compare_sweep(
             user_seed,
             dict(plan_kwargs or {}),
             dict(campaign_kwargs),
+            record_ts,
+            ts_window_s,
         )
         for index, (fault_seed, user_seed) in enumerate(seeds)
     ]
@@ -453,6 +488,11 @@ def compare_sweep(
 
         def on_point(p: SweepPoint) -> None:
             reg.merge(p.metrics)
+            if recorder is not None and p.timeseries:
+                # submission-order consumption makes this fold
+                # deterministic: same snapshots, same order, same
+                # float accumulation — jobs=1 == jobs=N bit for bit
+                recorder.merge(p.timeseries)
             wall.observe(p.wall_s)
             size.observe(len(pickle.dumps(p)))
             done.inc()

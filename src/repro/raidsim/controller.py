@@ -47,7 +47,7 @@ from ..core.reconstruction import (
 )
 from ..core.stack import RotatedStack
 from ..disksim.array import DEFAULT_ELEMENT_SIZE, ElementArray
-from ..obs import default_registry, default_tracer
+from ..obs import default_recorder, default_registry, default_tracer
 from ..obs.tracing import Tracer
 from ..disksim.disk import DiskParameters
 from ..disksim.faultplan import ActiveFaults, FaultPlan
@@ -224,10 +224,31 @@ class _CtrlObs:
         "spare_writes",
         "phases",
         "plan_spans",
+        "ts_progress",
+        "ts_throughput",
     )
 
-    def __init__(self, group, ctrl_track: int) -> None:
+    def __init__(self, group, ctrl_track: int, layout_name: str = "") -> None:
         reg = default_registry()
+        # flight-recorder series (None when no recorder is installed):
+        # rebuild progress and per-phase recovery throughput over the
+        # simulated clock, labelled by layout so a two-arrangement
+        # comparison records both curves side by side
+        rec = default_recorder()
+        if rec is not None:
+            self.ts_progress = rec.series(
+                "rebuild.progress",
+                "fraction of tracked stripes rebuilt",
+                layout=layout_name,
+            )
+            self.ts_throughput = rec.series(
+                "rebuild.throughput_mbps",
+                "recovery throughput per rebuild phase",
+                layout=layout_name,
+            )
+        else:
+            self.ts_progress = None
+            self.ts_throughput = None
         self.group = group
         #: pid of the controller's own track — one past the disks, so
         #: phase spans render above the per-disk I/O Gantt rows
@@ -263,16 +284,36 @@ class _CtrlObs:
             "rebuild.phase_wall_s", "simulated wall time of each rebuild phase"
         ).labels()
 
-    def phase_span(self, t0: float, t1: float, phase_idx: int, fset, n_stripes: int) -> None:
+    def phase_span(
+        self,
+        t0: float,
+        t1: float,
+        phase_idx: int,
+        fset,
+        n_stripes: int,
+        stripes_done: int | None = None,
+        stripes_total: int = 0,
+        phase_bytes: int = 0,
+    ) -> None:
         """One ``rebuild.phase`` complete event on the controller track.
 
         A phase end is also the streaming tracer's durability point:
         the bounded buffer drains to the JSONL sink here, so a trace of
         a long campaign never holds more than one phase's tail (or the
         watermark, whichever trips first) in memory.
+
+        ``stripes_done``/``stripes_total``/``phase_bytes`` feed the
+        flight recorder's rebuild-progress and throughput series — the
+        paper's "availability during reconstruction" x-axis.
         """
         self.phases.inc()
         self.plan_spans.observe(t1 - t0)
+        if self.ts_progress is not None and stripes_total:
+            self.ts_progress.observe(t1, stripes_done / stripes_total)
+            if phase_bytes and t1 > t0:
+                self.ts_throughput.observe(
+                    t1, phase_bytes / (1024 * 1024) / (t1 - t0)
+                )
         if self.group is not None:
             if t1 > t0:
                 self.group.complete(
@@ -463,7 +504,7 @@ class RaidController:
             group.name_track(layout.n_disks + spares, "rebuild controller")
         #: controller instruments — null no-ops when observability is
         #: off, so call sites need no branches
-        self._obs = _CtrlObs(group, layout.n_disks + spares)
+        self._obs = _CtrlObs(group, layout.n_disks + spares, layout.name)
         if retry_policy is None and fault_plan is not None:
             retry_policy = RetryPolicy()
         self.retry_policy = retry_policy
@@ -898,6 +939,17 @@ class RaidController:
         max_accesses = max((p.num_read_accesses for p in plans.values()), default=0)
         n_phases = len(fset)
         dead_stripes: set[int] = set()
+        # flight-recorder progress feed: one point per rebuilt stripe
+        # (the phase barrier alone would give a single-failure rebuild
+        # a one-point "curve"); None when no recorder is installed
+        ts_progress = self._obs.ts_progress if completed else None
+        total_stripes = len(completed) * self.n_stripes
+
+        def observe_progress() -> None:
+            ts_progress.observe(
+                self.array.now,
+                sum(len(v) for v in completed.values()) / total_stripes,
+            )
 
         def interrupted() -> bool:
             return len(self._dead_disks) > dead_before
@@ -941,6 +993,8 @@ class RaidController:
 
                 def finish_ok() -> None:
                     completed[pf].add(stripe)
+                    if ts_progress is not None:
+                        observe_progress()
                     if self.lse is not None:
                         # every sector of the rebuilt column was just
                         # rewritten (or lives on a fresh spare): latent
@@ -1046,7 +1100,16 @@ class RaidController:
                 start_stripe(pending.pop(0))
                 seeded += 1
             self.array.run()  # phase barrier
-            self._obs.phase_span(t0, self.array.now, phase_idx, fset, n_phase_stripes)
+            self._obs.phase_span(
+                t0,
+                self.array.now,
+                phase_idx,
+                fset,
+                n_phase_stripes,
+                stripes_done=sum(len(v) for v in completed.values()),
+                stripes_total=len(completed) * self.n_stripes,
+                phase_bytes=n_phase_stripes * self.layout.rows * self.array.element_size,
+            )
         return max_accesses
 
     # ------------------------------------------------------------------

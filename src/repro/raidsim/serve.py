@@ -19,9 +19,10 @@ picklable, seeded — so two same-config runs are bit-identical and
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.registry import build_layout, shifted_variant_name
+from ..obs import scoped_recorder
 from ..disksim.array import DEFAULT_ELEMENT_SIZE
 from ..disksim.scheduler import PriorityScheduler
 from ..workloads.generator import UserRead
@@ -79,12 +80,17 @@ class ServeConfig:
     throttle: str = "none"
     element_size: int = DEFAULT_ELEMENT_SIZE
     payload_bytes: int = 16
+    #: flight-recorder resolution: windows per serve duration (the
+    #: recorder's window width is ``duration_s / ts_windows``)
+    ts_windows: int = 96
 
     def __post_init__(self) -> None:
         if self.duration_factor <= 0:
             raise ValueError(
                 f"duration_factor must be positive, got {self.duration_factor}"
             )
+        if self.ts_windows < 1:
+            raise ValueError(f"ts_windows must be >= 1, got {self.ts_windows}")
         # fail fast on a bad spec string — before any simulation runs
         make_throttle(self.throttle)
 
@@ -116,6 +122,12 @@ class ServeResult:
     #: fraction of completed reads that did not fail outright
     availability: float
     throttle: str
+    #: flight-recorder snapshot ({} when observability is off) —
+    #: per-tenant latency, queue depth, rebuild progress/throughput
+    #: windows over the simulated clock
+    timeseries: dict = field(default_factory=dict, compare=False)
+    #: fault-interval overlay bands for dashboard rendering
+    overlays: tuple = field(default=(), compare=False)
 
 
 @dataclass(frozen=True)
@@ -207,37 +219,55 @@ def run_serve(
     into the :class:`~repro.workloads.openloop.SLOAccountant` and, when
     the policy wants feedback, into its ``observe`` hook, then runs the
     rebuild with the arrivals firing open-loop on the simulated clock.
+
+    The whole run executes under a scoped flight recorder (window
+    width ``duration_s / ts_windows``; a no-op when observability is
+    off), so the result carries the per-tenant latency, queue-depth
+    and rebuild-progress trajectories plus the fault-interval overlay
+    bands the dashboard report draws.
     """
-    ctrl = RaidController(
-        build_layout(layout_name, config.n),
-        n_stripes=config.n_stripes,
-        element_size=config.element_size,
-        scheduler_factory=PriorityScheduler,
-        payload_bytes=config.payload_bytes,
-    )
-    throttle = make_throttle(config.throttle)
-    slo = SLOAccountant(deadline_s=config.deadline_s)
-    observe = getattr(throttle, "observe", None)
-    sim = ctrl.array.sim
+    # function-local: repro.nemesis imports raidsim, so a module-level
+    # import here would be circular
+    from ..nemesis.tracker import FaultInterval, FaultTimeline
 
-    def on_latency(read: UserRead, latency_s: float) -> None:
-        slo.record(latency_s, tenant=read.tenant)
-        slo.observe_queue_depth(sim.pending_count())
-        if observe is not None:
-            observe(latency_s)
+    with scoped_recorder(window_s=duration_s / config.ts_windows) as rec:
+        ctrl = RaidController(
+            build_layout(layout_name, config.n),
+            n_stripes=config.n_stripes,
+            element_size=config.element_size,
+            scheduler_factory=PriorityScheduler,
+            payload_bytes=config.payload_bytes,
+        )
+        throttle = make_throttle(config.throttle)
+        slo = SLOAccountant(deadline_s=config.deadline_s)
+        observe = getattr(throttle, "observe", None)
+        sim = ctrl.array.sim
 
-    online = OnlineReconstruction(
-        ctrl,
-        (config.failed_disk,),
-        arrivals,
-        window=config.window,
-        throttle_delay_s=throttle,
-        on_latency=on_latency,
-    ).run()
+        def on_latency(read: UserRead, latency_s: float) -> None:
+            slo.record(latency_s, tenant=read.tenant, t_s=sim.now)
+            slo.observe_queue_depth(sim.pending_count(), t_s=sim.now)
+            if observe is not None:
+                observe(latency_s)
+
+        online = OnlineReconstruction(
+            ctrl,
+            (config.failed_disk,),
+            arrivals,
+            window=config.window,
+            throttle_delay_s=throttle,
+            on_latency=on_latency,
+        ).run()
+        timeseries = rec.snapshot() if rec is not None else {}
     slo.record_failure(online.failed_user_reads)
     summary = slo.summary(duration_s)
     served = summary.served
     availability = 1.0 - online.failed_user_reads / served if served > 0 else 1.0
+    timeline = FaultTimeline()
+    timeline.record(
+        FaultInterval(
+            0, "disk-death", config.failed_disk, 0.0, online.rebuild.makespan_s
+        )
+    )
     return ServeResult(
         layout_name=layout_name,
         slo=summary,
@@ -248,6 +278,8 @@ def run_serve(
         failed_reads=online.failed_user_reads,
         availability=availability,
         throttle=config.throttle,
+        timeseries=timeseries,
+        overlays=timeline.overlay_bands(horizon_s=duration_s),
     )
 
 

@@ -45,7 +45,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from ..obs import default_registry
+from ..obs import default_recorder, default_registry
 from .generator import UserRead
 
 __all__ = [
@@ -341,10 +341,23 @@ class SLOAccountant:
         deadline_s: float | None = None,
         registry=None,
         gauge_every: int = 64,
+        recorder=None,
     ) -> None:
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline must be positive, got {deadline_s}")
         self.deadline_s = deadline_s
+        # flight-recorder series: per-tenant latency + queue depth over
+        # the simulated clock, fed when callers pass `t_s` to `record`
+        # (None when no recorder is installed — nothing is retained)
+        self._rec = recorder if recorder is not None else default_recorder()
+        self._ts_lat: dict[str, object] = {}
+        self._ts_depth = (
+            self._rec.series(
+                "serve.queue_depth", "in-flight + queued requests over simulated time"
+            )
+            if self._rec is not None
+            else None
+        )
         self.gauge_every = max(1, gauge_every)
         self._lat: list[float] = []
         self._misses = 0
@@ -379,8 +392,24 @@ class SLOAccountant:
     def served(self) -> int:
         return len(self._lat)
 
-    def record(self, latency_s: float, tenant: str = "") -> None:
-        """Account one completed read."""
+    def record(self, latency_s: float, tenant: str = "", t_s: float | None = None) -> None:
+        """Account one completed read.
+
+        ``t_s`` is the completion's simulated time; when given (and a
+        flight recorder is installed) the latency also lands in the
+        per-tenant ``serve.latency_s`` timeseries, which is what the
+        dashboard's p99-over-time curves read.
+        """
+        if self._rec is not None and t_s is not None:
+            handle = self._ts_lat.get(tenant)
+            if handle is None:
+                handle = self._rec.series(
+                    "serve.latency_s",
+                    "open-loop read latency over simulated time",
+                    tenant=tenant or "all",
+                )
+                self._ts_lat[tenant] = handle
+            handle.observe(t_s, latency_s)
         self._lat.append(latency_s)
         self._tenants[tenant] = self._tenants.get(tenant, 0) + 1
         self._counts[int(np.searchsorted(self._bounds, latency_s, side="left"))] += 1
@@ -397,8 +426,10 @@ class SLOAccountant:
         """Account reads that errored out after all retries."""
         self._failed += n
 
-    def observe_queue_depth(self, depth: int) -> None:
+    def observe_queue_depth(self, depth: int, t_s: float | None = None) -> None:
         self._obs_depth.set(depth)
+        if self._ts_depth is not None and t_s is not None:
+            self._ts_depth.observe(t_s, depth)
 
     def streaming_quantile(self, q: float) -> float:
         """Bucketed quantile estimate: upper bound of the covering bucket."""

@@ -114,3 +114,42 @@ def test_compare_serve_is_bit_identical_across_the_worker_pool_boundary():
     with WorkerPool(jobs=2) as pool:
         remote = pool.map(_serve_worker, [77, 77])
     assert remote[0] == remote[1] == serial
+
+
+def test_result_carries_timeseries_and_fault_overlays(baseline):
+    """The flight recorder rides along: latency/depth/progress windows
+    over the simulated clock plus the disk-death overlay band."""
+    for r in (baseline.traditional, baseline.shifted):
+        snap = r.timeseries
+        names = {e["name"] for e in snap["series"].values()}
+        assert {"serve.latency_s", "serve.queue_depth", "rebuild.progress"} <= names
+        served = sum(
+            w["count"]
+            for e in snap["series"].values() if e["name"] == "serve.latency_s"
+            for w in e["windows"]
+        )
+        assert served == r.slo.served
+        progress = [
+            w["max"]
+            for e in snap["series"].values() if e["name"] == "rebuild.progress"
+            for w in e["windows"]
+        ]
+        assert max(progress) == pytest.approx(1.0)  # the rebuild completed
+        assert progress == sorted(progress)  # monotone over the clock
+        assert len(r.overlays) == 1
+        band = r.overlays[0]
+        assert band["kind"] == "disk-death" and band["t0"] == 0.0
+        assert band["t1"] == pytest.approx(r.rebuild_makespan_s)
+        assert band["label"] == "disk-death (disk 0)"
+
+
+def test_timeseries_is_empty_with_observability_off():
+    from repro.obs import set_obs_enabled
+
+    old = set_obs_enabled(False)
+    try:
+        r = run_serve("mirror", serve_arrivals(CFG), 3.0, CFG)
+    finally:
+        set_obs_enabled(old)
+    assert r.timeseries == {}
+    assert r.overlays  # overlay bands are plain data, recorder or not

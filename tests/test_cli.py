@@ -271,6 +271,36 @@ def test_obs_summary_command(capsys, tmp_path):
     assert "nothing to summarize" in out
 
 
+def test_obs_report_renders_a_serve_dashboard(capsys, tmp_path):
+    json_path = tmp_path / "serve.json"
+    html_path = tmp_path / "dash.html"
+    rc, _ = run_cli(capsys, "serve", "--n", "4", "--stripes", "4",
+                    "--rate", "25", "--seed", "11", "--json", str(json_path))
+    assert rc == 0
+    rc, out = run_cli(capsys, "obs", "report", str(json_path),
+                      "--out", str(html_path), "--title", "smoke")
+    assert rc == 0
+    assert str(html_path) in out
+    html = html_path.read_text()
+    assert "<svg" in html and "smoke" in html
+    assert "<h2>mirror</h2>" in html and "<h2>shifted-mirror</h2>" in html
+    assert "disk-death" in html  # the fault overlay band made it in
+
+
+def test_obs_report_rejects_a_non_report_document(capsys, tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"kind": "mystery"}')
+    rc = main(["obs", "report", str(bogus), "--out", str(tmp_path / "x.html")])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert captured.err.startswith("error: ")
+    # a missing input artifact is a domain error too, never a traceback
+    rc = main(["obs", "report", str(tmp_path / "missing.json")])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert captured.err.startswith("error: ")
+
+
 def test_domain_error_is_reported_not_raised(capsys):
     # a LayoutError inside a subcommand must become exit code 2 with a
     # one-line message on stderr, never a traceback

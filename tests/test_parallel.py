@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.parallel import WorkerPool, parallel_map, resolve_jobs
 from repro.workloads.film import (
@@ -95,3 +97,73 @@ def test_shared_film_workers_see_identical_bytes():
     assert got == expected
     # the parent registration is gone after close; regeneration still agrees
     assert _film_bytes(tasks[0]) == expected[0]
+
+
+# ----------------------------------------------------------------------
+# flight-recorder snapshots across the pool boundary
+# ----------------------------------------------------------------------
+
+
+def _record_chunk(args) -> dict:
+    """Worker fn: fold one chunk of (t, value) samples into a recorder."""
+    from repro.obs import TimelineRecorder
+
+    window_s, chunk = args
+    rec = TimelineRecorder(window_s=window_s, registry=False)
+    series = rec.series("prop.latency_s")
+    for t, v in chunk:
+        series.observe(t, v)
+    return rec.snapshot()
+
+
+def _merge_snapshots(snapshots, window_s: float) -> dict:
+    from repro.obs import TimelineRecorder
+
+    rec = TimelineRecorder(window_s=window_s, registry=False)
+    for snap in snapshots:
+        rec.merge(snap)
+    return rec.snapshot()
+
+
+@given(
+    samples=st.lists(
+        st.tuples(
+            st.floats(0.0, 8.0, allow_nan=False, allow_infinity=False),
+            # dyadic rationals: float addition is exact, so the serial
+            # sum and the chunked merge agree bit-for-bit
+            st.integers(1, 2048).map(lambda k: k / 1024.0),
+        ),
+        min_size=1,
+        max_size=48,
+    ),
+    n_chunks=st.integers(1, 4),
+)
+@settings(max_examples=25, deadline=None)
+def test_chunked_snapshot_merge_matches_the_serial_feed(samples, n_chunks):
+    """Splitting a sample stream into per-worker recorders and merging
+    their snapshots yields exactly the windows of one serial recorder."""
+    samples.sort(key=lambda tv: tv[0])  # completion order, like the engine
+    window_s = 0.5
+    serial = _record_chunk((window_s, samples))
+    size = -(-len(samples) // n_chunks)
+    chunks = [samples[i : i + size] for i in range(0, len(samples), size)]
+    merged = _merge_snapshots(
+        [_record_chunk((window_s, c)) for c in chunks], window_s
+    )
+    assert merged == serial
+
+
+def test_window_aggregates_are_bit_identical_across_the_pool_boundary():
+    """jobs=1 vs jobs=N: the merged timeseries must not depend on
+    whether chunk snapshots crossed a process boundary."""
+    rng = np.random.default_rng(2012)
+    window_s = 0.25
+    chunks = [
+        [(float(t), float(v)) for t, v in zip(rng.uniform(0, 4, 40), rng.exponential(0.02, 40))]
+        for _ in range(4)
+    ]
+    tasks = [(window_s, chunk) for chunk in chunks]
+    inline = _merge_snapshots([_record_chunk(t) for t in tasks], window_s)
+    with WorkerPool(jobs=2) as pool:
+        pooled = _merge_snapshots(pool.map(_record_chunk, tasks), window_s)
+    assert pooled == inline
