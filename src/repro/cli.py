@@ -24,7 +24,12 @@ import numpy as np
 from .core.arrangement import IdentityArrangement, IteratedArrangement
 from .core.errors import LayoutError, UnrecoverableFailureError
 from .core.properties import property_report
-from .core.registry import LAYOUTS, build_layout
+from .core.registry import (
+    LAYOUTS,
+    build_layout,
+    comparison_families,
+    comparison_pair,
+)
 
 __all__ = ["main", "build_layout", "LAYOUTS"]
 
@@ -243,8 +248,9 @@ def cmd_faultcampaign(args: argparse.Namespace) -> int:
     if args.seeds > 1:
         return _faultcampaign_sweep(args)
     family = args.family
-    trad_builder = LAYOUTS[family]
-    shift_builder = LAYOUTS[f"shifted-{family}"]
+    baseline_name, variant_name = comparison_pair(family)
+    trad_builder = LAYOUTS[baseline_name]
+    shift_builder = LAYOUTS[variant_name]
     layout = trad_builder(args.n)
     second_time = None
     if args.second_failure_at is not None and args.second_failure_at > 0:
@@ -492,7 +498,6 @@ def cmd_nemesis(args: argparse.Namespace) -> int:
 
 def _faultcampaign_sweep(args: argparse.Namespace) -> int:
     """``faultcampaign --seeds N``: many storms, fanned across ``--jobs``."""
-    from .core.registry import shifted_variant_name
     from .parallel import WorkerPool
     from .raidsim.campaign import compare_sweep
 
@@ -506,9 +511,9 @@ def _faultcampaign_sweep(args: argparse.Namespace) -> int:
         if pool.n_workers > 1:
             # every sweep point instantiates both arrangements over the
             # same film — generate it once and share it with the workers
-            layouts = (
-                build_layout(args.family, args.n),
-                build_layout(shifted_variant_name(args.family), args.n),
+            layouts = tuple(
+                build_layout(name, args.n)
+                for name in comparison_pair(args.family)
             )
             n_i = max(lay.n for lay in layouts)
             n_j = max(getattr(lay, "data_rows", lay.rows) for lay in layouts)
@@ -565,6 +570,62 @@ def _faultcampaign_sweep(args: argparse.Namespace) -> int:
             ],
             "metrics": default_registry().snapshot(),
         })
+    return 0
+
+
+def cmd_leaderboard(args: argparse.Namespace) -> int:
+    from .obs import default_registry
+    from .parallel import WorkerPool
+    from .raidsim.leaderboard import LeaderboardConfig, run_leaderboard
+
+    config = LeaderboardConfig(
+        n=args.n,
+        n_stripes=args.stripes,
+        seed=args.seed,
+        failed_disk=args.failed,
+        rate_per_s=args.rate,
+        duration_factor=args.duration_factor,
+        lse_burst=args.lse_burst,
+        transient_rate=args.transient_rate,
+        layouts=tuple(args.layouts) if args.layouts else None,
+    )
+    with WorkerPool(args.jobs) as pool:
+        result = run_leaderboard(config, pool=pool)
+    ranked = result.ranked()
+    print(f"Layout leaderboard (seed {args.seed}) at n={args.n}: "
+          f"{len(ranked)} layouts, {result.duration_s:.3f} s serve window")
+    print(f"  identical storm (LSE burst {args.lse_burst}, transients "
+          f"{args.transient_rate}) + open-loop reads at {args.rate}/s\n")
+    print(f"{'#':>2} {'layout':24} {'avail':>7} {'rebuild s':>10} "
+          f"{'p99 ms':>8} {'survival':>9} {'eff':>5} {'ft':>3}")
+    for rank, e in enumerate(ranked, start=1):
+        # NaN p99 (nothing served) prints bare nan — the _finite contract
+        p99 = f"{e.degraded_p99_ms:8.1f}" if e.degraded_p99_ms == e.degraded_p99_ms \
+            else f"{'nan':>8}"
+        print(f"{rank:>2} {e.layout:24} {e.availability:7.4f} "
+              f"{e.rebuild_makespan_s:10.3f} {p99} {e.data_survival:9.4f} "
+              f"{e.storage_efficiency:5.2f} {e.fault_tolerance:>3}")
+    best = ranked[0]
+    print(f"\nbest: {best.layout} — {best.description}")
+    payload = None
+    if args.json or args.html:
+        payload = {
+            "kind": "leaderboard",
+            **result.to_dict(),
+            "entries": [
+                {**e.to_dict(), "degraded_p99_ms": _finite(e.degraded_p99_ms)}
+                for e in ranked
+            ],
+        }
+    if args.json:
+        _write_json(args.json, {
+            **payload, "metrics": default_registry().snapshot(),
+        })
+    if args.html:
+        from .obs.report import leaderboard_report_html, write_report
+
+        out = write_report(args.html, leaderboard_report_html(payload))
+        print(f"wrote leaderboard dashboard to {out}", file=sys.stderr)
     return 0
 
 
@@ -720,8 +781,9 @@ def _parser() -> argparse.ArgumentParser:
         help="seeded fault-injection campaign over both arrangements",
     )
     p.add_argument("--family", default="mirror",
-                   choices=["mirror", "mirror-parity", "three-mirror"],
-                   help="architecture family (traditional vs shifted variant)")
+                   choices=comparison_families(),
+                   help="comparison family (baseline vs variant layout pair "
+                        "from the registry)")
     p.add_argument("--n", type=int, default=5)
     p.add_argument("--failed", type=int, default=0, help="first failed disk")
     p.add_argument("--stripes", type=int, default=12)
@@ -752,8 +814,9 @@ def _parser() -> argparse.ArgumentParser:
         help="open-loop traffic during rebuild, with SLO accounting",
     )
     p.add_argument("--family", default="mirror",
-                   choices=["mirror", "mirror-parity", "three-mirror"],
-                   help="architecture family (traditional vs shifted variant)")
+                   choices=comparison_families(),
+                   help="comparison family (baseline vs variant layout pair "
+                        "from the registry)")
     p.add_argument("--n", type=int, default=5)
     p.add_argument("--failed", type=int, default=0, help="failed disk")
     p.add_argument("--stripes", type=int, default=12)
@@ -790,8 +853,9 @@ def _parser() -> argparse.ArgumentParser:
         help="continuous stochastic fault campaign with anomaly attribution",
     )
     p.add_argument("--family", default="mirror",
-                   choices=["mirror", "mirror-parity", "three-mirror"],
-                   help="architecture family (traditional vs shifted variant)")
+                   choices=comparison_families(),
+                   help="comparison family (baseline vs variant layout pair "
+                        "from the registry)")
     p.add_argument("--n", type=int, default=4)
     p.add_argument("--stripes", type=int, default=6)
     p.add_argument("--horizon-days", type=float, default=7.0,
@@ -818,6 +882,34 @@ def _parser() -> argparse.ArgumentParser:
                         "per-tick samples, excursions) to FILE")
     _add_obs_args(p)
     p.set_defaults(func=cmd_nemesis)
+
+    p = sub.add_parser(
+        "leaderboard",
+        help="rank every registered layout under one seeded storm + serve mix",
+    )
+    p.add_argument("--n", type=int, default=5, help="data disks per array")
+    p.add_argument("--stripes", type=int, default=12)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--failed", type=int, default=0, help="failed disk")
+    p.add_argument("--rate", type=float, default=40.0,
+                   help="open-loop arrivals per second")
+    p.add_argument("--duration-factor", type=float, default=1.5,
+                   help="serve window as a multiple of the slowest "
+                        "layout's clean rebuild makespan")
+    p.add_argument("--lse-burst", type=int, default=2)
+    p.add_argument("--transient-rate", type=float, default=0.02)
+    p.add_argument("--layouts", nargs="+", metavar="NAME", default=None,
+                   choices=sorted(LAYOUTS),
+                   help="restrict the roster to these registry names "
+                        "(default: every leaderboard-eligible layout)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="fan layouts across this many processes (0 = all cores)")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the ranked machine-readable result to FILE")
+    p.add_argument("--html", metavar="FILE.html", default=None,
+                   help="also render the ranking as an HTML dashboard section")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_leaderboard)
 
     p = sub.add_parser("scrub", help="inject latent sector errors and scrub them")
     p.add_argument("--layout", default="shifted-mirror-parity", choices=sorted(LAYOUTS))

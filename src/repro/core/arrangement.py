@@ -32,6 +32,7 @@ __all__ = [
     "Arrangement",
     "IdentityArrangement",
     "ShiftedArrangement",
+    "GroupRotatedArrangement",
     "IteratedArrangement",
     "PermutationArrangement",
     "transform_once",
@@ -159,6 +160,36 @@ class ShiftedArrangement(Arrangement):
     def mirror_location(self, i: int, j: int) -> tuple[int, int]:
         self._check(i, j)
         return ((i + j) % self.n, i)
+
+
+class GroupRotatedArrangement(Arrangement):
+    """Replica rotation by row *groups*: ``a[i, j] -> b[<i + j div g>_n, j]``.
+
+    A cheap middle point between the traditional and the shifted
+    arrangement: the mirror disk advances by one every ``group`` rows
+    instead of every row.  A data disk's replicas therefore spread over
+    ``ceil(n / g)`` mirror disks (each holding at most ``g`` of them),
+    so rebuilding one data disk costs ``g`` parallel read accesses per
+    stripe — between the traditional ``n`` and the shifted ``1``.
+
+    ``group=1`` spreads replicas over all mirror disks (Properties 1-2
+    hold, like the shifted arrangement); ``group=n`` degenerates to a
+    column permutation of the traditional method.  Property 3 holds for
+    every ``group`` because rows are never split across mirror rows.
+    """
+
+    def __init__(self, n: int, group: int = 2) -> None:
+        super().__init__(n)
+        if group < 1:
+            raise ValueError(f"group size must be >= 1, got {group}")
+        self.group = group
+
+    def mirror_location(self, i: int, j: int) -> tuple[int, int]:
+        self._check(i, j)
+        return ((i + j // self.group) % self.n, j)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GroupRotatedArrangement(n={self.n}, group={self.group})"
 
 
 class PermutationArrangement(Arrangement):

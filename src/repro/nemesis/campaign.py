@@ -41,7 +41,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from ..core.registry import LAYOUTS, shifted_variant_name
+from ..core.registry import LAYOUTS, comparison_pair
 from ..disksim.array import DEFAULT_ELEMENT_SIZE
 from ..disksim.faultplan import FaultPlan
 from ..disksim.scheduler import PriorityScheduler
@@ -104,7 +104,7 @@ class NemesisConfig:
             raise ValueError("tick_s must not exceed horizon_s")
         if self.reads_per_tick < 1:
             raise ValueError("reads_per_tick must be >= 1")
-        shifted_variant_name(self.family)  # validate the family up front
+        comparison_pair(self.family)  # validate the family up front
 
     @property
     def n_ticks(self) -> int:
@@ -506,8 +506,9 @@ def run_nemesis_campaign(
     before returning ``None`` (the test harness's stand-in for a
     mid-campaign kill); replayed ticks are free.
     """
-    traditional = LAYOUTS[config.family](config.n)
-    shifted = LAYOUTS[shifted_variant_name(config.family)](config.n)
+    baseline_name, variant_name = comparison_pair(config.family)
+    traditional = LAYOUTS[baseline_name](config.n)
+    shifted = LAYOUTS[variant_name](config.n)
     if traditional.n_disks != shifted.n_disks:
         raise ValueError(
             "arrangements disagree on array width: "

@@ -36,6 +36,7 @@ from .timeseries import (
 
 __all__ = [
     "serve_report_html",
+    "leaderboard_report_html",
     "timeseries_report_html",
     "render_report",
     "write_report",
@@ -257,6 +258,58 @@ def serve_report_html(doc: dict, title: str | None = None) -> str:
     return _html_page(title, meta, f'<div class="compare">{"".join(columns)}</div>')
 
 
+def _lb_cell(value, fmt: str) -> str:
+    """One leaderboard metric cell; ``None`` (a null p99) renders n/a."""
+    if value is None:
+        return "n/a"
+    return format(value, fmt)
+
+
+def leaderboard_report_html(doc: dict, title: str | None = None) -> str:
+    """A ``repro leaderboard --json`` document as a ranked table.
+
+    The entries arrive already ranked (availability down, then rebuild
+    makespan, degraded p99, name); the section renders them as one
+    scalars table with rank numbers, so the dashboard answers "which
+    layout, when?" at a glance.  Raises :class:`ValueError` when the
+    document has no entries.
+    """
+    entries = doc.get("entries", [])
+    if not entries:
+        raise ValueError("not a leaderboard report: no entries")
+    if title is None:
+        title = (
+            f"Layout leaderboard: n={doc.get('n', '?')} "
+            f"seed={doc.get('seed', '?')}"
+        )
+    head = (
+        "<tr><th>#</th><th>layout</th><th>availability</th>"
+        "<th>rebuild makespan (s)</th><th>degraded p99 (ms)</th>"
+        "<th>data survival</th><th>storage eff.</th><th>served</th>"
+        "<th>verified</th></tr>"
+    )
+    rows = []
+    for rank, e in enumerate(entries, start=1):
+        rows.append(
+            f"<tr><td>{rank}</td><td>{escape(e['layout'])}</td>"
+            f"<td>{_lb_cell(e.get('availability'), '.4f')}</td>"
+            f"<td>{_lb_cell(e.get('rebuild_makespan_s'), '.3f')}</td>"
+            f"<td>{_lb_cell(e.get('degraded_p99_ms'), '.1f')}</td>"
+            f"<td>{_lb_cell(e.get('data_survival'), '.4f')}</td>"
+            f"<td>{_lb_cell(e.get('storage_efficiency'), '.3f')}</td>"
+            f"<td>{e.get('served', 'n/a')}</td>"
+            f"<td>{e.get('rebuild_verified', 'n/a')}</td></tr>"
+        )
+    table = f'<table class="scalars">{head}{"".join(rows)}</table>'
+    meta = (
+        f"{len(entries)} layouts under one seeded storm + open-loop serve "
+        f"mix, duration {doc.get('duration_s', float('nan')):.3f} s "
+        "(simulated); ranked by availability, then rebuild makespan, "
+        "then degraded p99"
+    )
+    return _html_page(title, meta, table)
+
+
 def timeseries_report_html(
     snapshot: dict, overlays=(), title: str = "Timeseries report"
 ) -> str:
@@ -309,6 +362,8 @@ def render_report(path, title: str | None = None) -> str:
         return timeseries_report_html(snapshot, title=title or path.name)
     with path.open("r", encoding="utf-8") as fh:
         doc = json.load(fh)
+    if doc.get("kind") == "leaderboard":
+        return leaderboard_report_html(doc, title=title)
     if doc.get("kind") == "serve" or "traditional" in doc:
         return serve_report_html(doc, title=title)
     if "series" in doc:

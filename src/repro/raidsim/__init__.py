@@ -27,6 +27,14 @@ from .controller import (
     WriteResult,
 )
 from .degraded import DegradedArray, DegradedStats
+from .leaderboard import (
+    LeaderboardConfig,
+    LeaderboardEntry,
+    LeaderboardResult,
+    leaderboard_duration_s,
+    run_leaderboard,
+    run_leaderboard_entry,
+)
 from .reconstruction import OnlineReconstruction, OnlineResult, degraded_read_sources
 from .scrub import ScrubReport, Scrubber
 from .serve import (
@@ -69,6 +77,12 @@ __all__ = [
     "serve_arrivals",
     "run_serve",
     "compare_serve",
+    "LeaderboardConfig",
+    "LeaderboardEntry",
+    "LeaderboardResult",
+    "leaderboard_duration_s",
+    "run_leaderboard",
+    "run_leaderboard_entry",
     "Scrubber",
     "ScrubReport",
     "DegradedArray",

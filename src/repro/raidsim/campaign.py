@@ -26,7 +26,7 @@ from typing import Callable
 import numpy as np
 
 from ..core.layouts import Layout
-from ..core.registry import LAYOUTS, shifted_variant_name
+from ..core.registry import LAYOUTS, comparison_pair
 from ..disksim.array import DEFAULT_ELEMENT_SIZE
 from ..disksim.faultplan import FaultPlan
 from ..disksim.scheduler import PriorityScheduler
@@ -379,8 +379,9 @@ def _sweep_point(task) -> SweepPoint:
         record_ts,
         ts_window_s,
     ) = task
-    traditional = LAYOUTS[family]
-    shifted = LAYOUTS[shifted_variant_name(family)]
+    baseline_name, variant_name = comparison_pair(family)
+    traditional = LAYOUTS[baseline_name]
+    shifted = LAYOUTS[variant_name]
     plan = default_fault_plan(
         traditional(n).n_disks, seed=fault_seed, **plan_kwargs
     )
@@ -423,10 +424,12 @@ def compare_sweep(
     pool=None,
     **campaign_kwargs,
 ) -> SweepResult:
-    """Traditional vs shifted over ``n_seeds`` independent storms.
+    """Baseline vs variant over ``n_seeds`` independent storms.
 
-    ``family`` is a registry name with a shifted variant (``mirror``,
-    ``mirror-parity``, ``three-mirror``).  Each point derives its fault
+    ``family`` is a comparison family declared in
+    :data:`repro.core.registry.COMPARISONS` (the paper's
+    traditional-vs-shifted trio plus the competitor pairings such as
+    ``declustered`` and ``rebuild-optimal``).  Each point derives its fault
     and user-read seeds from a :class:`numpy.random.SeedSequence` child
     of ``root_seed`` (see :func:`derive_sweep_seeds`) and runs the full
     :func:`compare_arrangements` under its own storm.  ``plan_kwargs``
@@ -441,7 +444,7 @@ def compare_sweep(
     bit-identical to the serial run — there is a regression test
     pinning that.
     """
-    shifted_variant_name(family)  # validate up front, before forking
+    comparison_pair(family)  # validate up front, before forking
     seeds = derive_sweep_seeds(root_seed, n_seeds)
     # workers record timeseries exactly when the parent has a flight
     # recorder installed, at the parent's window width — the flag (not

@@ -23,7 +23,13 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..core.layouts import MirrorLayout, MirrorParityLayout, RAID5Layout, ThreeMirrorLayout
+from ..core.layouts import (
+    DeclusteredMirrorLayout,
+    MirrorLayout,
+    MirrorParityLayout,
+    RAID5Layout,
+    ThreeMirrorLayout,
+)
 from ..disksim.request import IOKind
 from ..workloads.generator import WriteOp
 from .controller import RaidController, RebuildResult
@@ -70,7 +76,13 @@ class DegradedArray:
         entry (it is, after all, gone).
     """
 
-    SUPPORTED = (MirrorLayout, MirrorParityLayout, ThreeMirrorLayout, RAID5Layout)
+    SUPPORTED = (
+        MirrorLayout,
+        MirrorParityLayout,
+        ThreeMirrorLayout,
+        DeclusteredMirrorLayout,
+        RAID5Layout,
+    )
 
     def __init__(self, controller: RaidController, failed_disks) -> None:
         if not isinstance(controller.layout, self.SUPPORTED):

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from ..core.registry import build_layout, shifted_variant_name
+from ..core.registry import build_layout, comparison_pair
 from ..obs import scoped_recorder
 from ..disksim.array import DEFAULT_ELEMENT_SIZE
 from ..disksim.scheduler import PriorityScheduler
@@ -164,8 +164,9 @@ class ServeComparison:
 def serve_duration_s(config: ServeConfig) -> float:
     """The serve window: ``duration_factor`` × the slower clean rebuild.
 
-    Sized off *both* arrangements (like the campaign's read window) so
-    traditional and shifted face the identical arrival stream.
+    Sized off *both* sides of the comparison pair (like the campaign's
+    read window) so baseline and variant face the identical arrival
+    stream.
     """
     sizing = dict(
         failed_disks=(config.failed_disk,),
@@ -174,11 +175,10 @@ def serve_duration_s(config: ServeConfig) -> float:
         payload_bytes=config.payload_bytes,
         window=config.window,
     )
+    baseline_name, variant_name = comparison_pair(config.family)
     return config.duration_factor * max(
-        clean_rebuild_makespan(build_layout(config.family, config.n), **sizing),
-        clean_rebuild_makespan(
-            build_layout(shifted_variant_name(config.family), config.n), **sizing
-        ),
+        clean_rebuild_makespan(build_layout(baseline_name, config.n), **sizing),
+        clean_rebuild_makespan(build_layout(variant_name, config.n), **sizing),
     )
 
 
@@ -292,9 +292,8 @@ def compare_serve(config: ServeConfig) -> ServeComparison:
     """
     duration_s = serve_duration_s(config)
     arrivals = serve_arrivals(config, duration_s)
+    baseline_name, variant_name = comparison_pair(config.family)
     return ServeComparison(
-        traditional=run_serve(config.family, arrivals, duration_s, config),
-        shifted=run_serve(
-            shifted_variant_name(config.family), arrivals, duration_s, config
-        ),
+        traditional=run_serve(baseline_name, arrivals, duration_s, config),
+        shifted=run_serve(variant_name, arrivals, duration_s, config),
     )

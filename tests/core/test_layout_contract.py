@@ -8,10 +8,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.arrangement import PermutationArrangement, ShiftedArrangement
+from repro.core.arrangement import (
+    GroupRotatedArrangement,
+    PermutationArrangement,
+    ShiftedArrangement,
+)
 from repro.core.layouts import (
+    DeclusteredMirrorLayout,
+    MirrorLayout,
     RAID5Layout,
     RAID6Layout,
+    RebuildOptimalRDPLayout,
     ThreeMirrorLayout,
     XCodeLayout,
     shifted_mirror,
@@ -38,9 +45,19 @@ ALL_LAYOUTS = [
         lambda: ThreeMirrorLayout(4, ShiftedArrangement(4), _rev(4)),
         id="shifted-three-mirror",
     ),
+    pytest.param(
+        lambda: MirrorLayout(
+            4, GroupRotatedArrangement(4, 2), name="group-rotated-mirror"
+        ),
+        id="group-rotated-mirror",
+    ),
+    pytest.param(lambda: DeclusteredMirrorLayout(4), id="declustered-mirror"),
     pytest.param(lambda: RAID5Layout(4), id="raid5"),
     pytest.param(lambda: RAID6Layout(4, "evenodd"), id="raid6-evenodd"),
     pytest.param(lambda: RAID6Layout(4, "rdp"), id="raid6-rdp"),
+    pytest.param(
+        lambda: RebuildOptimalRDPLayout(4), id="rebuild-optimal-rdp"
+    ),
     pytest.param(lambda: XCodeLayout(5), id="xcode"),
 ]
 

@@ -32,7 +32,7 @@ def test_config_validation():
         NemesisConfig(horizon_s=10.0, tick_s=20.0)
     with pytest.raises(ValueError, match="reads_per_tick"):
         NemesisConfig(reads_per_tick=0)
-    with pytest.raises(ValueError, match="no shifted variant"):
+    with pytest.raises(ValueError, match="no registered comparison pair"):
         NemesisConfig(family="raid60")
 
 

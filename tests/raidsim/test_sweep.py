@@ -73,5 +73,5 @@ def test_sweep_aggregates_are_well_defined():
 def test_unknown_family_rejected_before_any_work():
     import pytest
 
-    with pytest.raises(ValueError, match="shifted variant"):
+    with pytest.raises(ValueError, match="no registered comparison pair"):
         compare_sweep("raid5", 4, n_seeds=2, jobs=1, **_KW)

@@ -394,3 +394,91 @@ def test_latency_speedup_inf_and_nan_contract(capsys, tmp_path, monkeypatch):
         assert rc == 0
         assert f"user latency speedup:  {text}" in out
         assert json.loads(out_path.read_text())["latency_speedup"] is None
+
+
+def test_faultcampaign_runs_competitor_family(capsys):
+    """The registry-declared pair mechanism: a family whose variant is
+    not named shifted-* runs everywhere a comparison runs."""
+    rc, out = run_cli(capsys, "faultcampaign", "--family", "declustered",
+                      "--n", "3", "--stripes", "4", "--second-failure-at", "0")
+    assert rc == 0
+    assert "declustered-mirror:" in out
+
+
+def test_faultcampaign_sweep_competitor_family(capsys):
+    rc, out = run_cli(capsys, "faultcampaign", "--family", "rebuild-optimal",
+                      "--n", "3", "--stripes", "3", "--seeds", "2")
+    assert rc == 0
+    assert "Fault-campaign sweep on rebuild-optimal at n=3" in out
+
+
+def test_unpaired_family_rejected_at_parse_time(capsys):
+    """The fail-before guard: raid5 is a layout but not a family."""
+    with pytest.raises(SystemExit):
+        main(["faultcampaign", "--family", "raid5", "--n", "3"])
+    err = capsys.readouterr().err
+    assert "invalid choice: 'raid5'" in err
+    assert "declustered" in err and "rebuild-optimal" in err
+
+
+def test_leaderboard_command(capsys):
+    rc, out = run_cli(capsys, "leaderboard", "--n", "3", "--stripes", "3",
+                      "--seed", "7")
+    assert rc == 0
+    assert "Layout leaderboard (seed 7) at n=3:" in out
+    for name in ("mirror", "shifted-mirror", "declustered-mirror",
+                 "rebuild-optimal-rdp"):
+        assert name in out
+    assert "best: " in out
+
+
+def test_leaderboard_json_schema_and_determinism(capsys, tmp_path):
+    import json
+
+    paths = [tmp_path / "a.json", tmp_path / "b.json"]
+    for path, jobs in zip(paths, ("1", "2")):
+        rc, _ = run_cli(capsys, "leaderboard", "--n", "3", "--stripes", "3",
+                        "--seed", "7", "--jobs", jobs, "--json", str(path))
+        assert rc == 0
+    a, b = (json.loads(p.read_text()) for p in paths)
+    assert a["kind"] == "leaderboard"
+    assert len(a["ranking"]) >= 4
+    assert a["ranking"] == [e["layout"] for e in a["entries"]]
+    for e in a["entries"]:
+        assert 0.0 <= e["availability"] <= 1.0
+        assert e["rebuild_makespan_s"] > 0
+        # the _finite contract: p99 is a float or null, never NaN
+        assert e["degraded_p99_ms"] is None or isinstance(
+            e["degraded_p99_ms"], float
+        )
+    # bit-reproducible across runs and jobs counts
+    assert a["ranking"] == b["ranking"]
+    assert a["entries"] == b["entries"]
+    assert a["duration_s"] == b["duration_s"]
+
+
+def test_leaderboard_html_dashboard(capsys, tmp_path):
+    html_path = tmp_path / "lb.html"
+    rc, _ = run_cli(capsys, "leaderboard", "--n", "3", "--stripes", "3",
+                    "--layouts", "mirror", "shifted-mirror",
+                    "declustered-mirror", "rebuild-optimal-rdp",
+                    "--html", str(html_path))
+    assert rc == 0
+    html = html_path.read_text()
+    assert "Layout leaderboard" in html
+    assert "declustered-mirror" in html
+    assert 'table class="scalars"' in html
+
+
+def test_obs_report_renders_leaderboard_json(capsys, tmp_path):
+    json_path = tmp_path / "lb.json"
+    out_path = tmp_path / "lb.html"
+    rc, _ = run_cli(capsys, "leaderboard", "--n", "3", "--stripes", "3",
+                    "--layouts", "mirror", "declustered-mirror",
+                    "--json", str(json_path))
+    assert rc == 0
+    rc, out = run_cli(capsys, "obs", "report", str(json_path),
+                      "--out", str(out_path))
+    assert rc == 0
+    assert "wrote dashboard report" in out
+    assert "declustered-mirror" in out_path.read_text()
